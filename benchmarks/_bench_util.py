@@ -1,0 +1,15 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).resolve().parent / "output"
+
+
+def write_output(name: str, text: str) -> pathlib.Path:
+    """Persist a rendered table/figure under ``benchmarks/output``."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

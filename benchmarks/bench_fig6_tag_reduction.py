@@ -1,0 +1,64 @@
+"""Figure 6 — percentage reduction of tag comparisons, DEW vs the baseline.
+
+The paper reports DEW performing 54.9% to 94.9% fewer tag comparisons than
+Dinero IV, with the reduction growing with block size, and observes that the
+reduction correlates with the Figure 5 speed-up.  Both observations are
+asserted here on the regenerated data.
+"""
+
+from collections import defaultdict
+
+from repro.bench.figures import (
+    comparison_reduction_series,
+    render_ascii_chart,
+    series_as_rows,
+    speedup_series,
+)
+from repro.bench.tables import rows_as_csv
+
+from _bench_util import write_output
+
+
+def test_fig6_reduction_series(benchmark, table3_cells):
+    series = benchmark(comparison_reduction_series, table3_cells)
+    chart = render_ascii_chart(series, "Figure 6: % reduction of tag comparisons")
+    write_output("fig6_tag_reduction.txt", chart)
+    write_output("fig6_tag_reduction.csv", rows_as_csv(series_as_rows(series)))
+    print()
+    print(chart)
+
+    # The reduction grows with block size for every application/associativity.
+    by_app_assoc = defaultdict(dict)
+    for points in series.values():
+        for point in points:
+            by_app_assoc[(point.app, point.associativity)][point.block_size] = point.value
+    for (app, associativity), per_block in by_app_assoc.items():
+        if 4 in per_block and 64 in per_block:
+            assert per_block[64] > per_block[4], (app, associativity, per_block)
+        # At the largest block size the reduction is substantial.
+        if 64 in per_block:
+            assert per_block[64] > 50.0, (app, associativity, per_block)
+
+
+def test_fig6_correlates_with_fig5(benchmark, table3_cells):
+    """The paper: "reduction of tag comparisons helps DEW to reduce total
+    simulation time" — check the two series are positively correlated."""
+    reductions = benchmark(comparison_reduction_series, table3_cells)
+    speedups = speedup_series(table3_cells)
+    pairs = []
+    for app, points in reductions.items():
+        speedup_lookup = {
+            (point.block_size, point.associativity): point.value for point in speedups[app]
+        }
+        for point in points:
+            pairs.append((point.value, speedup_lookup[(point.block_size, point.associativity)]))
+    xs = [pair[0] for pair in pairs]
+    ys = [pair[1] for pair in pairs]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    variance_x = sum((x - mean_x) ** 2 for x in xs) ** 0.5
+    variance_y = sum((y - mean_y) ** 2 for y in ys) ** 0.5
+    correlation = covariance / (variance_x * variance_y)
+    print(f"\ncorrelation(reduction, speed-up) = {correlation:.3f}")
+    assert correlation > 0.5

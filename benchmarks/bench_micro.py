@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the simulator building blocks.
+
+These are not part of the paper's evaluation; they exist so performance
+regressions in the hot paths (DEW per-request walk, reference per-access
+lookup, LRU single-pass, trace generation) are caught by
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.simulator import SingleConfigSimulator
+from repro.core.config import CacheConfig
+from repro.core.dew import DewSimulator
+from repro.lru.janapsatya import JanapsatyaSimulator
+from repro.trace.stats import compute_trace_statistics
+from repro.workloads.synthetic import WorkingSetGenerator
+
+SET_SIZES = tuple(2**i for i in range(11))
+
+
+@pytest.fixture(scope="module")
+def micro_trace():
+    return WorkingSetGenerator(hot_bytes=8 << 10, cold_bytes=1 << 19).generate(20_000, seed=5)
+
+
+def test_micro_dew_walk(benchmark, micro_trace):
+    addresses = micro_trace.address_list()
+
+    def run():
+        simulator = DewSimulator(32, 4, SET_SIZES)
+        for address in addresses:
+            simulator.access(address)
+        return simulator
+
+    simulator = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert simulator.requests == len(addresses)
+
+
+def test_micro_reference_lookup(benchmark, micro_trace):
+    addresses = micro_trace.address_list()
+
+    def run():
+        simulator = SingleConfigSimulator(CacheConfig(256, 4, 32))
+        for address in addresses:
+            simulator.access(address)
+        return simulator
+
+    simulator = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert simulator.stats.accesses == len(addresses)
+
+
+def test_micro_lru_single_pass(benchmark, micro_trace):
+    def run():
+        simulator = JanapsatyaSimulator(32, (1, 2, 4), SET_SIZES)
+        return simulator.run(micro_trace)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == 3 * len(SET_SIZES)
+
+
+def test_micro_trace_generation(benchmark):
+    generator = WorkingSetGenerator(hot_bytes=4 << 10, cold_bytes=1 << 18)
+    trace = benchmark(generator.generate, 20_000, 9)
+    assert len(trace) == 20_000
+
+
+def test_micro_trace_statistics(benchmark, micro_trace):
+    stats = benchmark.pedantic(
+        compute_trace_statistics, args=(micro_trace[:4000],), kwargs={"block_size": 32},
+        rounds=1, iterations=1,
+    )
+    assert stats.length == 4000
+
+
+def test_micro_dew_scales_with_levels(benchmark):
+    """Sanity: simulating 15 set sizes costs far less than 15x one set size."""
+    rng = random.Random(3)
+    addresses = [rng.randrange(0, 1 << 16) for _ in range(5000)]
+
+    def run_full_family():
+        simulator = DewSimulator(32, 4, tuple(2**i for i in range(15)))
+        for address in addresses:
+            simulator.access(address)
+        return simulator.counters.node_evaluations
+
+    evaluations = benchmark.pedantic(run_full_family, rounds=1, iterations=1)
+    assert evaluations < len(addresses) * 15

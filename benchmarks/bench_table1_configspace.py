@@ -1,0 +1,35 @@
+"""Table 1 — the cache-configuration parameter grid (525 configurations).
+
+This benchmark confirms the configuration space matches the paper's Table 1
+and measures how cheap it is to enumerate (configuration handling must never
+be a bottleneck of a multi-configuration simulator).
+"""
+
+from repro.bench.tables import format_table1
+from repro.core.config import ConfigSpace
+
+from _bench_util import write_output
+
+
+def test_table1_paper_space(benchmark):
+    space = benchmark(ConfigSpace.paper_space)
+    assert len(space) == 525
+    assert space.max_set_size() == 16384
+    assert max(space.total_sizes()) == 16 << 20
+    text = format_table1(space)
+    write_output("table1.txt", text)
+    print()
+    print(text)
+
+
+def test_table1_enumeration_cost(benchmark):
+    space = ConfigSpace.paper_space()
+    configs = benchmark(space.configs)
+    assert len(configs) == 525
+
+
+def test_table1_dew_run_grouping(benchmark):
+    space = ConfigSpace.paper_space()
+    runs = benchmark(space.dew_runs)
+    # 7 block sizes x 4 non-trivial associativities (direct mapped folded in).
+    assert len(runs) == 28

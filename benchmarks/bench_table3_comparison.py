@@ -1,0 +1,70 @@
+"""Table 3 — simulation time and tag comparisons: DEW vs the Dinero-style baseline.
+
+The paper's Table 3 reports, for six applications x three block sizes x three
+associativity pairs (1 & 4, 1 & 8, 1 & 16), the total simulation time and the
+number of tag comparisons of DEW and Dinero IV.  The session-scoped
+``table3_cells`` fixture runs exactly that grid (at scaled trace lengths);
+the benchmarks below additionally time one representative family with each
+simulator so pytest-benchmark records the single-pass vs per-configuration
+cost directly.
+"""
+
+import pytest
+
+from repro.bench.harness import PAPER_SET_SIZES
+from repro.bench.tables import format_table3, rows_as_csv
+from repro.cache.dinero import DineroStyleRunner
+from repro.core.config import CacheConfig
+from repro.core.dew import DewSimulator
+from repro.types import ReplacementPolicy
+
+from _bench_util import write_output
+
+REPRESENTATIVE = [("cjpeg", 16, 4), ("g721_enc", 4, 8), ("mpeg2_dec", 64, 4)]
+
+
+def test_table3_full_grid(benchmark, experiment_runner, table3_cells):
+    """Render the full Table 3 and check the paper's qualitative claims."""
+    text = benchmark(format_table3, table3_cells)
+    write_output("table3.txt", text)
+    write_output("table3.csv", rows_as_csv([cell.as_dict() for cell in table3_cells]))
+    print()
+    print(text)
+    assert len(table3_cells) == len(experiment_runner.apps) * 3 * 3
+    # Every cell was verified exact, and DEW wins every cell (the paper's
+    # "DEW is always much faster than Dinero IV in every case").
+    assert all(cell.exact_match for cell in table3_cells)
+    assert all(cell.speedup > 1.0 for cell in table3_cells)
+    headline = experiment_runner.run_headline_claims(table3_cells)
+    print("Headline claims (this run):", headline)
+
+
+@pytest.mark.parametrize("app,block_size,associativity", REPRESENTATIVE)
+def test_table3_dew_single_pass(benchmark, experiment_runner, app, block_size, associativity):
+    """Time DEW's single pass over one family (all 15 set sizes + direct mapped)."""
+    trace = experiment_runner.trace_for(app)
+
+    def run_dew():
+        simulator = DewSimulator(block_size, associativity, PAPER_SET_SIZES)
+        simulator.run(trace)
+        return simulator
+
+    simulator = benchmark.pedantic(run_dew, rounds=1, iterations=1)
+    assert simulator.requests == len(trace)
+
+
+@pytest.mark.parametrize("app,block_size,associativity", REPRESENTATIVE)
+def test_table3_baseline_sweep(benchmark, experiment_runner, app, block_size, associativity):
+    """Time the one-configuration-at-a-time baseline over the same family."""
+    trace = experiment_runner.trace_for(app)
+    configs = [
+        CacheConfig(num_sets, assoc, block_size, ReplacementPolicy.FIFO)
+        for assoc in (1, associativity)
+        for num_sets in PAPER_SET_SIZES
+    ]
+
+    def run_baseline():
+        return DineroStyleRunner(configs).run(trace)
+
+    outcome = benchmark.pedantic(run_baseline, rounds=1, iterations=1)
+    assert outcome.passes == len(configs)

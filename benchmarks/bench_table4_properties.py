@@ -1,0 +1,65 @@
+"""Table 4 — effectiveness of the DEW properties.
+
+For block size 4 and associativities 4 and 8 the paper reports, per
+application: the worst-case (Property-1-only) node evaluations, the
+evaluations DEW actually performs, how often the MRA entry resolved a request
+(Property 2), and how often a tag-list search was avoided by the wave pointer
+(Property 3) or the MRE entry (Property 4).  This benchmark regenerates the
+table and additionally measures the ablated simulator so the properties'
+runtime value is visible, not just their counter value.
+"""
+
+from repro.bench.harness import PAPER_SET_SIZES
+from repro.bench.tables import format_table4, rows_as_csv
+from repro.core.dew import DewSimulator
+
+from _bench_util import write_output
+
+
+def test_table4_property_effectiveness(benchmark, experiment_runner):
+    rows = benchmark.pedantic(
+        experiment_runner.run_table4, kwargs={"block_size": 4, "associativities": (4, 8)},
+        rounds=1, iterations=1,
+    )
+    text = format_table4(rows)
+    write_output("table4.txt", text)
+    write_output("table4.csv", rows_as_csv([row.as_dict() for row in rows]))
+    print()
+    print(text)
+    assert len(rows) == len(experiment_runner.apps)
+    for row in rows:
+        # The properties must reduce work below the Property-1-only bound,
+        # and every counter must be internally consistent.
+        assert row.dew_evaluations < row.unoptimised_evaluations
+        assert row.mra_count > 0
+        for counters in row.per_associativity.values():
+            assert counters["searches"] <= row.dew_evaluations
+            assert counters["searches"] + counters["wave_count"] + counters["mre_count"] + row.mra_count == row.dew_evaluations
+
+
+def test_table4_ablation_mra_cost(benchmark, experiment_runner):
+    """Node evaluations with Property 2 disabled hit the worst-case bound."""
+    trace = experiment_runner.trace_for("cjpeg")
+
+    def run_without_mra():
+        simulator = DewSimulator(4, 4, PAPER_SET_SIZES, enable_mra=False)
+        simulator.run(trace)
+        return simulator.counters
+
+    counters = benchmark.pedantic(run_without_mra, rounds=1, iterations=1)
+    assert counters.node_evaluations == counters.unoptimised_node_evaluations
+
+
+def test_table4_ablation_wave_mre_cost(benchmark, experiment_runner):
+    """Disabling Properties 3 and 4 pushes every undecided evaluation into a search."""
+    trace = experiment_runner.trace_for("cjpeg")
+
+    def run_without_shortcuts():
+        simulator = DewSimulator(4, 4, PAPER_SET_SIZES, enable_wave=False, enable_mre=False)
+        simulator.run(trace)
+        return simulator.counters
+
+    counters = benchmark.pedantic(run_without_shortcuts, rounds=1, iterations=1)
+    assert counters.wave_decisions == 0
+    assert counters.mre_decisions == 0
+    assert counters.searches == counters.node_evaluations - counters.mra_hits

@@ -1,0 +1,35 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The expensive part of the evaluation — the Table 3 sweep (every application x
+block size x associativity, simulated by both DEW and the Dinero-style
+baseline) — is computed once per session and shared by the Table 3, Figure 5
+and Figure 6 benchmarks.
+
+Trace lengths are controlled by ``REPRO_BENCH_REQUESTS`` (default 20000); the
+paper's original traces are millions to billions of requests, which a pure
+Python harness cannot replay in CI time.  See EXPERIMENTS.md for the scaling
+discussion.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def experiment_runner() -> ExperimentRunner:
+    """The paper's evaluation grid at a Python-tractable trace length."""
+    return ExperimentRunner(
+        proportional_lengths=False,
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "2010")),
+    )
+
+
+@pytest.fixture(scope="session")
+def table3_cells(experiment_runner):
+    """All Table 3 cells (also feeds Figures 5 and 6)."""
+    return experiment_runner.run_table3()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick an embedded L1 cache for a workload.
+
+This example is the use case that motivates the paper: an embedded processor
+runs one application (or a small class of them) forever, so the L1 cache can
+be tuned to it.  The flow is:
+
+1. build the application trace,
+2. sweep a realistic embedded configuration space with DEW — one single pass
+   per (block size, associativity) family instead of one pass per
+   configuration,
+3. attach an analytic energy model,
+4. extract the (size, miss-rate) Pareto front and let the tuner pick the
+   best configuration under area and performance constraints.
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from repro import CacheTuner, DewSimulator, TuningConstraints, mediabench_trace
+from repro.core.config import ConfigSpace
+from repro.explore.energy import EnergyModel
+from repro.explore.pareto import size_missrate_front
+
+SET_SIZES = tuple(2**i for i in range(10))      # 1 .. 512 sets
+BLOCK_SIZES = (16, 32, 64)
+ASSOCIATIVITIES = (2, 4, 8)
+
+
+def main() -> None:
+    trace = mediabench_trace("mpeg2_dec", 120_000, seed=3)
+    print(f"workload: {trace.name}, {len(trace):,} requests")
+
+    # Sweep the whole space: one DEW pass per (B, A) family.  Direct-mapped
+    # configurations are produced as a by-product of each pass.
+    all_results = []
+    passes = 0
+    for block_size in BLOCK_SIZES:
+        for associativity in ASSOCIATIVITIES:
+            simulator = DewSimulator(block_size, associativity, SET_SIZES)
+            family = simulator.run(trace)
+            all_results.extend(family)
+            passes += 1
+    # The same configuration can appear in two families (direct-mapped caches
+    # are shared); deduplicate keeping the first occurrence.
+    unique = {}
+    for result in all_results:
+        unique.setdefault(result.config, result)
+    results = list(unique.values())
+    space_size = len(ConfigSpace(SET_SIZES, (1,) + ASSOCIATIVITIES, BLOCK_SIZES))
+    print(f"{len(results)} distinct configurations (space of {space_size}) "
+          f"from {passes} single-pass simulations\n")
+
+    # Pareto front over (capacity, miss rate).
+    front = size_missrate_front(results)
+    front.sort(key=lambda point: point.config.total_size)
+    print("capacity vs miss-rate Pareto front:")
+    for point in front[:12]:
+        size, miss_rate = point.metrics
+        print(f"  {point.config.label():>22}  {int(size):>8,} B   miss rate {miss_rate:.4f}")
+    if len(front) > 12:
+        print(f"  ... ({len(front) - 12} more points)")
+
+    # Constraint-driven selection: at most 16 KB of data array, a miss rate
+    # within 25% of the best achievable at that budget, minimise energy.
+    budget = 16 << 10
+    best_rate = min(r.miss_rate for r in results if r.config.total_size <= budget)
+    constraints = TuningConstraints(max_total_size=budget, max_miss_rate=best_rate * 1.25)
+    tuner = CacheTuner(energy_model=EnergyModel(), objective="energy")
+    outcome = tuner.tune(results, constraints)
+    print(f"\ntuner decision (<=16KB, miss rate <= {best_rate * 1.25:.4f}, minimise energy):")
+    for key, value in outcome.as_dict().items():
+        print(f"  {key:>24}: {value}")
+
+    # Compare against the pure performance objective.
+    fastest = CacheTuner(objective="misses").tune(results, constraints)
+    print(f"\nfewest-misses choice under the same constraints: "
+          f"{fastest.best.config.label()} ({fastest.best.misses:,} misses)")
+
+
+if __name__ == "__main__":
+    main()

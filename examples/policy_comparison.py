@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""FIFO vs LRU (vs PLRU and random): the replacement-policy question.
+
+The paper targets FIFO because it is cheap to build and, per Al-Zoubi et
+al., competitive with LRU for L1 caches.  This example uses the library's
+three simulation engines to look at that trade-off for one workload:
+
+* DEW                      — exact, single pass, FIFO family;
+* JanapsatyaSimulator      — exact, single pass, LRU family;
+* SingleConfigSimulator    — per-configuration oracle, used here for the
+  policies that have no single-pass engine (PLRU, random).
+
+Run with:  python examples/policy_comparison.py
+"""
+
+from repro import DewSimulator, JanapsatyaSimulator, SingleConfigSimulator, mediabench_trace
+from repro.core.config import CacheConfig
+from repro.types import ReplacementPolicy
+
+SET_SIZES = tuple(2**i for i in range(9))       # 1 .. 256 sets
+BLOCK_SIZE = 32
+ASSOCIATIVITY = 4
+
+
+def main() -> None:
+    trace = mediabench_trace("djpeg", 80_000, seed=11)
+    print(f"workload: {trace.name}, {len(trace):,} requests, "
+          f"block {BLOCK_SIZE} B, {ASSOCIATIVITY}-way\n")
+
+    fifo = DewSimulator(BLOCK_SIZE, ASSOCIATIVITY, SET_SIZES).run(trace)
+    lru = JanapsatyaSimulator(BLOCK_SIZE, (ASSOCIATIVITY,), SET_SIZES).run(trace)
+
+    print(f"{'sets':>6} {'size':>9} {'FIFO miss%':>11} {'LRU miss%':>10} "
+          f"{'PLRU miss%':>11} {'RANDOM miss%':>13} {'FIFO/LRU':>9}")
+    for num_sets in SET_SIZES:
+        fifo_result = fifo[CacheConfig(num_sets, ASSOCIATIVITY, BLOCK_SIZE, ReplacementPolicy.FIFO)]
+        lru_result = lru[CacheConfig(num_sets, ASSOCIATIVITY, BLOCK_SIZE, ReplacementPolicy.LRU)]
+        row = []
+        for policy in (ReplacementPolicy.PLRU, ReplacementPolicy.RANDOM):
+            config = CacheConfig(num_sets, ASSOCIATIVITY, BLOCK_SIZE, policy)
+            simulator = SingleConfigSimulator(config, seed=1)
+            simulator.run(trace)
+            row.append(simulator.stats.miss_rate)
+        plru_rate, random_rate = row
+        ratio = (fifo_result.miss_rate / lru_result.miss_rate) if lru_result.miss_rate else float("inf")
+        size = num_sets * ASSOCIATIVITY * BLOCK_SIZE
+        print(f"{num_sets:>6} {size:>8,}B {fifo_result.miss_rate:>10.4f} "
+              f"{lru_result.miss_rate:>10.4f} {plru_rate:>11.4f} {random_rate:>13.4f} {ratio:>9.3f}")
+
+    print("\nnotes:")
+    print("  * FIFO/LRU close to 1.0 reproduces the observation (Al-Zoubi et al.) that")
+    print("    FIFO is a reasonable L1 choice despite its simpler hardware.")
+    print("  * DEW and the Janapsatya engine each produced their whole column in a single")
+    print("    pass over the trace; PLRU/random required one pass per cache size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Verify DEW's exactness over a whole configuration space.
+
+The paper's correctness argument is empirical ("hit and miss rates ... are
+exactly the same" as Dinero IV).  This script repeats that verification with
+the library's cross-checking utility over an embedded-scale configuration
+space and several very different workloads, and also audits the four DEW
+properties directly.
+
+Run with:  python examples/verify_exactness.py
+"""
+
+from repro.core.config import ConfigSpace
+from repro.core.properties import check_all_properties
+from repro.types import ReplacementPolicy
+from repro.verify.crosscheck import cross_check_space
+from repro.workloads.mediabench import mediabench_trace
+from repro.workloads.synthetic import PointerChase, RandomUniform, StridedLoop
+
+
+def main() -> None:
+    space = ConfigSpace(
+        set_sizes=[2**i for i in range(8)],
+        associativities=[1, 2, 4, 8],
+        block_sizes=[8, 32],
+        policy=ReplacementPolicy.FIFO,
+    )
+    workloads = {
+        "g721_enc model": mediabench_trace("g721_enc", 8_000, seed=1),
+        "tight loop": StridedLoop(array_bytes=4096, stride=4).generate(8_000, seed=2),
+        "pointer chase": PointerChase(nodes=2048, node_bytes=16).generate(8_000, seed=3),
+        "uniform random": RandomUniform(region_bytes=1 << 16).generate(8_000, seed=4),
+    }
+
+    print(f"configuration space: {len(space)} configurations "
+          f"({len(space.dew_runs())} DEW passes each)\n")
+    for name, trace in workloads.items():
+        reports = cross_check_space(trace, space, raise_on_mismatch=True)
+        checked = sum(report.configs_checked for report in reports.values())
+        print(f"  {name:<16} {len(trace):>7,} requests  "
+              f"{checked:>4} configurations cross-checked  -> exact")
+
+    print("\nauditing the four DEW properties on a mixed workload:")
+    addresses = workloads["g721_enc model"].address_list()[:3000]
+    for report in check_all_properties(addresses, block_size=8, associativity=4,
+                                       set_sizes=(1, 2, 4, 8, 16)):
+        status = "holds" if report.holds else "VIOLATED"
+        print(f"  {report.name:<34} checked {report.checked:>8,} times  -> {status}")
+
+    print("\nall checks passed: DEW's single pass is bit-exact with per-configuration simulation.")
+
+
+if __name__ == "__main__":
+    main()

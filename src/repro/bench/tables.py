@@ -1,0 +1,150 @@
+"""Plain-text renderers for the paper's tables.
+
+Each ``format_table*`` function takes the data structures produced by
+:mod:`repro.bench.harness` (or the configuration space / traces themselves)
+and returns a string laid out like the corresponding table in the paper, so
+benchmark output can be compared against the original side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.bench.harness import ExperimentCell, PropertyCell
+from repro.core.config import ConfigSpace
+from repro.trace.trace import Trace
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a simple aligned text table."""
+    rendered_rows = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_table1(space: Optional[ConfigSpace] = None) -> str:
+    """Table 1: the cache-configuration parameter grid."""
+    space = space or ConfigSpace.paper_space()
+    rows = [
+        ("Cache set size", f"2^I where 2^I in {{{space.set_sizes[0]} .. {space.set_sizes[-1]}}}",
+         len(space.set_sizes)),
+        ("Cache block size (bytes)", f"2^I where 2^I in {{{space.block_sizes[0]} .. {space.block_sizes[-1]}}}",
+         len(space.block_sizes)),
+        ("Associativity", f"2^I where 2^I in {{{space.associativities[0]} .. {space.associativities[-1]}}}",
+         len(space.associativities)),
+        ("Total configurations", "", len(space)),
+    ]
+    return format_table(
+        ("Parameter", "Range", "Count"),
+        rows,
+        title="Table 1: cache configuration parameters",
+    )
+
+
+def format_table2(traces: Mapping[str, Trace], paper_counts: Optional[Mapping[str, int]] = None) -> str:
+    """Table 2: trace lengths (modelled traces vs the paper's originals)."""
+    rows = []
+    for app, trace in traces.items():
+        paper = paper_counts.get(app, "-") if paper_counts else "-"
+        rows.append((app, f"{len(trace):,}", f"{paper:,}" if isinstance(paper, int) else paper))
+    return format_table(
+        ("Application", "Requests (this run)", "Requests (paper)"),
+        rows,
+        title="Table 2: trace files used for simulation",
+    )
+
+
+def format_table3(cells: Sequence[ExperimentCell]) -> str:
+    """Table 3: simulation time and tag comparisons, DEW vs the baseline.
+
+    Cells are grouped app-by-app and block-size-by-block-size; each
+    associativity contributes a time pair and a comparison pair, matching the
+    column structure of the paper's Table 3.
+    """
+    associativities = sorted({cell.associativity for cell in cells})
+    headers = ["Application", "Block"]
+    for assoc in associativities:
+        headers += [f"DEW s (1&{assoc})", f"Din. s (1&{assoc})"]
+    for assoc in associativities:
+        headers += [f"DEW cmp (1&{assoc})", f"Din. cmp (1&{assoc})"]
+
+    grouped: Dict[tuple, Dict[int, ExperimentCell]] = {}
+    order: List[tuple] = []
+    for cell in cells:
+        key = (cell.app, cell.block_size)
+        if key not in grouped:
+            grouped[key] = {}
+            order.append(key)
+        grouped[key][cell.associativity] = cell
+
+    rows = []
+    for app, block_size in order:
+        per_assoc = grouped[(app, block_size)]
+        row: List[object] = [app, block_size]
+        for assoc in associativities:
+            cell = per_assoc.get(assoc)
+            row += (
+                [f"{cell.dew_seconds:.3f}", f"{cell.dinero_seconds:.3f}"] if cell else ["-", "-"]
+            )
+        for assoc in associativities:
+            cell = per_assoc.get(assoc)
+            row += (
+                [f"{cell.dew_comparisons:,}", f"{cell.dinero_comparisons:,}"] if cell else ["-", "-"]
+            )
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title="Table 3: DEW vs Dinero-style baseline (simulation time, tag comparisons)",
+    )
+
+
+def format_table4(rows: Sequence[PropertyCell]) -> str:
+    """Table 4: effectiveness of the DEW properties."""
+    associativities: List[int] = sorted({assoc for row in rows for assoc in row.per_associativity})
+    headers = ["Application", "Unopt. evals", "DEW evals", "MRA count"]
+    for assoc in associativities:
+        headers += [f"Searches (1&{assoc})", f"Wave (1&{assoc})", f"MRE (1&{assoc})"]
+    table_rows = []
+    for row in rows:
+        line: List[object] = [
+            row.app,
+            f"{row.unoptimised_evaluations:,}",
+            f"{row.dew_evaluations:,}",
+            f"{row.mra_count:,}",
+        ]
+        for assoc in associativities:
+            counters = row.per_associativity.get(assoc, {})
+            line += [
+                f"{counters.get('searches', 0):,}",
+                f"{counters.get('wave_count', 0):,}",
+                f"{counters.get('mre_count', 0):,}",
+            ]
+        table_rows.append(line)
+    return format_table(
+        headers,
+        table_rows,
+        title="Table 4: effectiveness of properties used in DEW",
+    )
+
+
+def rows_as_csv(rows: Iterable[Mapping[str, object]]) -> str:
+    """Render dictionaries (e.g. ``cell.as_dict()``) as CSV text."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    headers = list(rows[0].keys())
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(str(row.get(header, "")) for header in headers))
+    return "\n".join(lines)

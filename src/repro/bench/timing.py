@@ -1,0 +1,34 @@
+"""Timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+    def running(self) -> float:
+        """Seconds since the timer was entered (0 if never entered)."""
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start

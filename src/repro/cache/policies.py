@@ -1,0 +1,219 @@
+"""Replacement-policy models for the reference cache simulator.
+
+Each policy answers two questions for a single cache set:
+
+* which way should be evicted on a miss (``choose_victim``), and
+* how should bookkeeping change on a hit (``note_hit``) or after an
+  insertion (``note_insert``).
+
+FIFO is the policy the paper targets: the victim rotates round-robin through
+the ways and — crucially for DEW's correctness — *hits change nothing*.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.types import ReplacementPolicy
+
+
+class ReplacementPolicyModel:
+    """Per-set replacement bookkeeping.
+
+    Subclasses maintain whatever per-set state they need for a set with
+    ``associativity`` ways.  Way indices run from ``0`` to
+    ``associativity - 1``.
+    """
+
+    name = "abstract"
+
+    def __init__(self, associativity: int) -> None:
+        if associativity < 1:
+            raise SimulationError(f"associativity must be >= 1, got {associativity}")
+        self.associativity = associativity
+
+    def choose_victim(self, occupied: List[bool]) -> int:
+        """Return the way to evict (or fill) for the next insertion."""
+        raise NotImplementedError
+
+    def note_hit(self, way: int) -> None:
+        """Record that ``way`` was hit."""
+        raise NotImplementedError
+
+    def note_insert(self, way: int) -> None:
+        """Record that a new block was installed in ``way``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return the policy to its initial state."""
+        raise NotImplementedError
+
+
+class FifoPolicy(ReplacementPolicyModel):
+    """First-in first-out (round-robin) replacement.
+
+    The victim pointer advances by one way per insertion and is untouched by
+    hits, exactly matching the behaviour DEW models (Algorithm 2, line 3:
+    "position of the cache way which holds the least recently inserted tag").
+    """
+
+    name = "fifo"
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._next_victim = 0
+
+    def choose_victim(self, occupied: List[bool]) -> int:
+        return self._next_victim
+
+    def note_hit(self, way: int) -> None:
+        # FIFO ignores hits entirely; this is the property DEW exploits.
+        return None
+
+    def note_insert(self, way: int) -> None:
+        if way != self._next_victim:
+            raise SimulationError(
+                f"FIFO insertion must use the round-robin victim way {self._next_victim}, got {way}"
+            )
+        self._next_victim = (self._next_victim + 1) % self.associativity
+
+    def reset(self) -> None:
+        self._next_victim = 0
+
+
+class LruPolicy(ReplacementPolicyModel):
+    """Least-recently-used replacement.
+
+    The recency order is kept as a list of ways from most- to
+    least-recently-used; empty ways are preferred as victims.
+    """
+
+    name = "lru"
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._recency: List[int] = list(range(associativity))
+
+    def choose_victim(self, occupied: List[bool]) -> int:
+        for way in range(self.associativity):
+            if not occupied[way]:
+                return way
+        return self._recency[-1]
+
+    def note_hit(self, way: int) -> None:
+        self._recency.remove(way)
+        self._recency.insert(0, way)
+
+    def note_insert(self, way: int) -> None:
+        self._recency.remove(way)
+        self._recency.insert(0, way)
+
+    def reset(self) -> None:
+        self._recency = list(range(self.associativity))
+
+
+class RandomPolicy(ReplacementPolicyModel):
+    """Pseudo-random replacement with a deterministic per-set stream."""
+
+    name = "random"
+
+    def __init__(self, associativity: int, seed: int = 0) -> None:
+        super().__init__(associativity)
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def choose_victim(self, occupied: List[bool]) -> int:
+        for way in range(self.associativity):
+            if not occupied[way]:
+                return way
+        return self._rng.randrange(self.associativity)
+
+    def note_hit(self, way: int) -> None:
+        return None
+
+    def note_insert(self, way: int) -> None:
+        return None
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class PlruPolicy(ReplacementPolicyModel):
+    """Tree-based pseudo-LRU (the policy many embedded L1s actually ship).
+
+    Requires a power-of-two associativity.  A binary tree of ``A - 1`` bits
+    records, at each internal node, which half was accessed less recently.
+    """
+
+    name = "plru"
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        if associativity & (associativity - 1):
+            raise SimulationError("PLRU requires a power-of-two associativity")
+        self._bits = [0] * max(associativity - 1, 1)
+
+    def choose_victim(self, occupied: List[bool]) -> int:
+        for way in range(self.associativity):
+            if not occupied[way]:
+                return way
+        if self.associativity == 1:
+            return 0
+        node = 0
+        width = self.associativity
+        way = 0
+        while width > 1:
+            go_right = self._bits[node]
+            width //= 2
+            if go_right:
+                way += width
+                node = 2 * node + 2
+            else:
+                node = 2 * node + 1
+        return way
+
+    def _touch(self, way: int) -> None:
+        if self.associativity == 1:
+            return
+        node = 0
+        width = self.associativity
+        low = 0
+        while width > 1:
+            width //= 2
+            if way < low + width:
+                # Accessed the left half: point the bit at the right half.
+                self._bits[node] = 1
+                node = 2 * node + 1
+            else:
+                self._bits[node] = 0
+                low += width
+                node = 2 * node + 2
+
+    def note_hit(self, way: int) -> None:
+        self._touch(way)
+
+    def note_insert(self, way: int) -> None:
+        self._touch(way)
+
+    def reset(self) -> None:
+        self._bits = [0] * max(self.associativity - 1, 1)
+
+
+def make_policy(
+    policy: ReplacementPolicy,
+    associativity: int,
+    seed: Optional[int] = None,
+) -> ReplacementPolicyModel:
+    """Instantiate the policy model named by ``policy``."""
+    policy = ReplacementPolicy.parse(policy)
+    if policy is ReplacementPolicy.FIFO:
+        return FifoPolicy(associativity)
+    if policy is ReplacementPolicy.LRU:
+        return LruPolicy(associativity)
+    if policy is ReplacementPolicy.RANDOM:
+        return RandomPolicy(associativity, seed=seed or 0)
+    if policy is ReplacementPolicy.PLRU:
+        return PlruPolicy(associativity)
+    raise SimulationError(f"unsupported replacement policy: {policy}")

@@ -1,0 +1,115 @@
+"""Single-configuration trace-driven cache simulator.
+
+:class:`SingleConfigSimulator` models what one Dinero IV invocation does: it
+owns the storage for exactly one cache configuration and must be driven over
+the whole trace to produce hit/miss counts for that configuration alone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Union
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.policies import make_policy
+from repro.cache.stats import CacheStats
+from repro.core.config import CacheConfig
+from repro.errors import SimulationError
+from repro.trace.trace import Trace
+from repro.types import AccessType
+
+
+class SingleConfigSimulator:
+    """Trace-driven simulator for one cache configuration.
+
+    Parameters
+    ----------
+    config:
+        The cache configuration (sets, ways, block size, policy) to model.
+    seed:
+        Seed forwarded to stochastic policies (``RANDOM``); ignored by the
+        deterministic ones.
+    track_compulsory:
+        When true (the default), first-touch misses are classified as
+        compulsory, which requires remembering every block ever seen.
+        Disable for very long traces if that memory matters.
+    """
+
+    def __init__(self, config: CacheConfig, seed: int = 0, track_compulsory: bool = True) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._sets: List[CacheSet] = [
+            CacheSet(config.associativity, make_policy(config.policy, config.associativity, seed=seed + i))
+            for i in range(config.num_sets)
+        ]
+        self._offset_bits = config.offset_bits
+        self._index_mask = config.num_sets - 1
+        self._track_compulsory = track_compulsory
+        self._seen_blocks: Set[int] = set()
+
+    # -- single access --------------------------------------------------------
+
+    def access(self, address: int, access_type: AccessType = AccessType.READ) -> bool:
+        """Simulate one byte-address reference; return ``True`` on a hit."""
+        if address < 0:
+            raise SimulationError(f"negative address: {address}")
+        block = address >> self._offset_bits
+        cache_set = self._sets[block & self._index_mask]
+        before = cache_set.comparisons
+        compulsory = False
+        if self._track_compulsory:
+            if block not in self._seen_blocks:
+                compulsory = True
+                self._seen_blocks.add(block)
+        hit, evicted = cache_set.access(block, is_write=(access_type == AccessType.WRITE))
+        self.stats.record(
+            hit=hit,
+            access_type=access_type,
+            compulsory=compulsory and not hit,
+            evicted=evicted is not None,
+            comparisons=cache_set.comparisons - before,
+        )
+        return hit
+
+    # -- bulk simulation ------------------------------------------------------
+
+    def run(self, trace: Union[Trace, Iterable[int]]) -> CacheStats:
+        """Simulate a whole trace (or a bare iterable of addresses)."""
+        if isinstance(trace, Trace):
+            addresses = trace.address_list()
+            types = trace.access_types.tolist()
+            for address, type_code in zip(addresses, types):
+                self.access(address, AccessType(type_code))
+        else:
+            for address in trace:
+                self.access(int(address))
+        return self.stats
+
+    # -- inspection -----------------------------------------------------------
+
+    def resident_blocks(self, set_index: Optional[int] = None) -> List[List[int]]:
+        """Blocks currently resident, per set (or for one set)."""
+        if set_index is not None:
+            return [self._sets[set_index].resident_blocks()]
+        return [cache_set.resident_blocks() for cache_set in self._sets]
+
+    def contains_block(self, block: int) -> bool:
+        """True when ``block`` (a block address) is resident."""
+        cache_set = self._sets[block & self._index_mask]
+        return block in cache_set.resident_blocks()
+
+    def reset(self) -> None:
+        """Empty the cache and zero the statistics."""
+        for cache_set in self._sets:
+            cache_set.reset()
+        self.stats = CacheStats()
+        self._seen_blocks = set()
+
+
+def simulate_trace(
+    config: CacheConfig,
+    trace: Union[Trace, Iterable[int]],
+    seed: int = 0,
+) -> CacheStats:
+    """One-shot helper: simulate ``trace`` on ``config`` and return the stats."""
+    simulator = SingleConfigSimulator(config, seed=seed)
+    return simulator.run(trace)

@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+Installed as ``repro-dew``.  Subcommands:
+
+``generate``
+    Write a synthetic (Mediabench-style) trace to a ``.din`` or CSV file.
+``dew``
+    Run DEW on a trace file for one (block size, associativity) family and
+    print per-configuration miss rates.
+``baseline``
+    Run the Dinero-style one-config-at-a-time baseline over the same family.
+``verify``
+    Cross-check DEW against the reference simulator on a trace.
+``reproduce``
+    Regenerate the paper's tables and figures (scaled-down traces).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+from repro.bench.figures import comparison_reduction_series, render_ascii_chart, speedup_series
+from repro.bench.harness import ExperimentRunner
+from repro.bench.tables import format_table1, format_table2, format_table3, format_table4
+from repro.cache.dinero import DineroStyleRunner
+from repro.core.config import CacheConfig
+from repro.core.dew import DewSimulator
+from repro.trace.din import read_din, write_din
+from repro.trace.textio import read_text_trace, write_text_trace
+from repro.trace.trace import Trace
+from repro.types import ReplacementPolicy
+from repro.verify.crosscheck import cross_check
+from repro.workloads.mediabench import PAPER_REQUEST_COUNTS, mediabench_trace
+
+
+def _load_trace(path: str) -> Trace:
+    if path.endswith(".din"):
+        return read_din(path)
+    return read_text_trace(path)
+
+
+def _set_sizes(max_sets: int) -> List[int]:
+    sizes = []
+    size = 1
+    while size <= max_sets:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = mediabench_trace(args.app, args.requests, seed=args.seed)
+    if args.output.endswith(".din"):
+        write_din(trace, args.output)
+    else:
+        write_text_trace(trace, args.output, fmt="csv")
+    print(f"wrote {len(trace):,} accesses modelling {args.app} to {args.output}")
+    return 0
+
+
+def _cmd_dew(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    simulator = DewSimulator(args.block_size, args.associativity, _set_sizes(args.max_sets))
+    results = simulator.run(trace)
+    print(f"DEW: {len(trace):,} requests, {len(results)} configurations, "
+          f"{results.elapsed_seconds:.3f}s, {simulator.counters.tag_comparisons:,} tag comparisons")
+    for result in results:
+        print(
+            f"  S={result.config.num_sets:<6} A={result.config.associativity:<3} "
+            f"B={result.config.block_size:<3} size={result.config.total_size:<9,} "
+            f"misses={result.misses:<10,} miss_rate={result.miss_rate:.4f}"
+        )
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    configs = [
+        CacheConfig(num_sets, assoc, args.block_size, ReplacementPolicy.FIFO)
+        for assoc in sorted({1, args.associativity})
+        for num_sets in _set_sizes(args.max_sets)
+    ]
+    runner = DineroStyleRunner(configs)
+    outcome = runner.run(trace)
+    print(f"baseline: {outcome.passes} passes over {len(trace):,} requests, "
+          f"{outcome.elapsed_seconds:.3f}s, {outcome.total_tag_comparisons:,} tag comparisons")
+    for config, stats in sorted(outcome.stats.items()):
+        print(
+            f"  S={config.num_sets:<6} A={config.associativity:<3} B={config.block_size:<3} "
+            f"misses={stats.misses:<10,} miss_rate={stats.miss_rate:.4f}"
+        )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    report = cross_check(trace, args.block_size, args.associativity, _set_sizes(args.max_sets))
+    print(report.summary())
+    return 0 if report.exact else 1
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(max_requests=args.requests, seed=args.seed)
+    print(format_table1())
+    print()
+    print(format_table2(runner.traces(), PAPER_REQUEST_COUNTS))
+    print()
+    cells = runner.run_table3()
+    print(format_table3(cells))
+    print()
+    print(format_table4(runner.run_table4()))
+    print()
+    print(render_ascii_chart(speedup_series(cells), "Figure 5: speed-up of DEW over baseline"))
+    print()
+    print(render_ascii_chart(
+        comparison_reduction_series(cells), "Figure 6: % reduction of tag comparisons"))
+    print()
+    headline = runner.run_headline_claims(cells)
+    print("Headline claims (this run):")
+    for key, value in headline.items():
+        print(f"  {key}: {value:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dew",
+        description="DEW single-pass multi-configuration FIFO cache simulation (DATE 2010 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic Mediabench-style trace")
+    generate.add_argument("app", choices=sorted(PAPER_REQUEST_COUNTS))
+    generate.add_argument("output", help="output path (.din or .csv)")
+    generate.add_argument("--requests", type=int, default=100_000)
+    generate.add_argument("--seed", type=int, default=2010)
+    generate.set_defaults(func=_cmd_generate)
+
+    def add_family_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("trace", help="trace file (.din, .csv or hex list)")
+        sub.add_argument("--block-size", type=int, default=16)
+        sub.add_argument("--associativity", type=int, default=4)
+        sub.add_argument("--max-sets", type=int, default=16384)
+
+    dew = subparsers.add_parser("dew", help="run DEW over a trace")
+    add_family_arguments(dew)
+    dew.set_defaults(func=_cmd_dew)
+
+    baseline = subparsers.add_parser("baseline", help="run the Dinero-style baseline over a trace")
+    add_family_arguments(baseline)
+    baseline.set_defaults(func=_cmd_baseline)
+
+    verify = subparsers.add_parser("verify", help="cross-check DEW against the reference simulator")
+    add_family_arguments(verify)
+    verify.set_defaults(func=_cmd_verify)
+
+    reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's tables and figures")
+    reproduce.add_argument("--requests", type=int, default=None,
+                           help="trace length for the largest application")
+    reproduce.add_argument("--seed", type=int, default=2010)
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

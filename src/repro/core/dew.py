@@ -1,0 +1,339 @@
+"""The DEW simulator: one pass, many FIFO cache configurations.
+
+:class:`DewSimulator` walks the :class:`~repro.core.tree.DewTree` top-down
+for every trace request, implementing the paper's Algorithms 1 and 2 and the
+four properties of Section 3.2:
+
+* Property 1 — the binomial tree itself bounds the walk to one node per
+  simulated set size.
+* Property 2 — if the requested tag equals the node's MRA tag the request is
+  a hit in that configuration and all larger set sizes, so the walk stops.
+* Property 3 — the wave pointer carried down from the parent's matching
+  entry decides hit/miss in the current node with one comparison.
+* Property 4 — if the requested tag equals the node's MRE (most recently
+  evicted) tag the request is a miss; no search is needed and, on
+  re-insertion, the evicted entry's old wave pointer is recycled.
+
+Because FIFO never reorders on hits, stopping the walk at a known-hit level
+leaves every deeper node's contents exactly correct — this is the property
+that makes a single-pass multi-configuration FIFO simulator possible at all,
+and it is verified exhaustively against the reference simulator in the test
+suite.
+
+The simulator also reports the direct-mapped (associativity 1) results for
+every set size "for free": the MRA tag of a node is precisely the block a
+direct-mapped set would currently hold, so the Property 2 comparison doubles
+as the direct-mapped lookup.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence, Set, Union
+
+from repro.core.counters import DewCounters
+from repro.core.results import ConfigResult, SimulationResults
+from repro.core.tree import DewTree
+from repro.errors import SimulationError
+from repro.trace.trace import Trace
+from repro.types import EMPTY_WAVE, INVALID_TAG
+
+
+class DewSimulator:
+    """Single-pass multi-configuration FIFO cache simulator.
+
+    Parameters
+    ----------
+    block_size:
+        Block size ``B`` in bytes shared by every simulated configuration.
+    associativity:
+        Associativity ``A`` shared by every simulated configuration.  The
+        direct-mapped results for every set size are produced as a
+        by-product whenever ``A > 1``.
+    set_sizes:
+        The set-size sweep (strictly doubling powers of two); defaults to
+        the paper's ``2^0 .. 2^14``.
+    enable_mra / enable_wave / enable_mre:
+        Ablation switches for Properties 2, 3 and 4.  Disabling a property
+        never changes the reported hit/miss counts — only how much work the
+        simulator performs to obtain them (this is what Table 4 quantifies).
+    track_compulsory:
+        Record first-touch (compulsory) misses.  Costs one hash-set insert
+        per distinct block.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        associativity: int,
+        set_sizes: Optional[Sequence[int]] = None,
+        enable_mra: bool = True,
+        enable_wave: bool = True,
+        enable_mre: bool = True,
+        track_compulsory: bool = True,
+    ) -> None:
+        self.tree = DewTree(block_size, associativity, set_sizes)
+        self.enable_mra = enable_mra
+        self.enable_wave = enable_wave
+        self.enable_mre = enable_mre
+        self.track_compulsory = track_compulsory
+        self.counters = DewCounters()
+        self.counters.ensure_levels(self.tree.num_levels)
+        self._misses: List[int] = [0] * self.tree.num_levels
+        self._dm_misses: List[int] = [0] * self.tree.num_levels
+        self._requests = 0
+        self._compulsory = 0
+        self._seen_blocks: Set[int] = set()
+        self._offset_bits = self.tree.offset_bits
+        self._elapsed = 0.0
+        self._build_level_views()
+
+    def _build_level_views(self) -> None:
+        """Cache per-level storage references for the hot loop."""
+        tree = self.tree
+        self._levels = [
+            (
+                tree.set_sizes[level] - 1,  # index mask
+                tree.tags[level],
+                tree.waves[level],
+                tree.mra[level],
+                tree.mre_tag[level],
+                tree.mre_wave[level],
+                tree.fifo_ptr[level],
+            )
+            for level in range(tree.num_levels)
+        ]
+
+    # -- public queries --------------------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        """Block size shared by all simulated configurations."""
+        return self.tree.block_size
+
+    @property
+    def associativity(self) -> int:
+        """Associativity shared by all simulated configurations."""
+        return self.tree.associativity
+
+    @property
+    def requests(self) -> int:
+        """Number of accesses simulated so far."""
+        return self._requests
+
+    def misses_at_level(self, level: int, direct_mapped: bool = False) -> int:
+        """Miss count accumulated at one tree level."""
+        return self._dm_misses[level] if direct_mapped else self._misses[level]
+
+    # -- simulation ------------------------------------------------------------
+
+    def access(self, address: int) -> None:
+        """Simulate one byte-address request against every configuration."""
+        if address < 0:
+            raise SimulationError(f"negative address: {address}")
+        self._access_block(address >> self._offset_bits)
+
+    def _access_block(self, block: int) -> None:
+        """Simulate one request given its block address."""
+        counters = self.counters
+        counters.requests += 1
+        self._requests += 1
+        if self.track_compulsory and block not in self._seen_blocks:
+            self._seen_blocks.add(block)
+            self._compulsory += 1
+
+        associativity = self.tree.associativity
+        misses = self._misses
+        dm_misses = self._dm_misses
+        enable_mra = self.enable_mra
+        enable_wave = self.enable_wave
+        enable_mre = self.enable_mre
+        per_level = counters.evaluations_per_level
+
+        # Wave pointer and matching-entry location carried down from the
+        # parent node ("Matching entry location" in Algorithms 1 and 2).
+        incoming_wave = EMPTY_WAVE
+        parent_waves: Optional[List[int]] = None
+        parent_entry = -1
+
+        for level, (index_mask, level_tags, level_waves, level_mra,
+                    level_mre_tag, level_mre_wave, level_fifo) in enumerate(self._levels):
+            set_index = block & index_mask
+            counters.node_evaluations += 1
+            per_level[level] += 1
+
+            # Property 2 (MRA): one comparison decides this configuration
+            # *and* the direct-mapped cache of the same set size.
+            counters.tag_comparisons += 1
+            mra_match = level_mra[set_index] == block
+            if mra_match:
+                if enable_mra:
+                    counters.mra_hits += 1
+                    # Hit here and at every larger set size, both for the
+                    # simulated associativity and direct mapped: stop.
+                    return
+                # Ablation mode: keep walking.  The level is still a hit for
+                # both configurations and FIFO hits change no state, so the
+                # wave chain simply restarts below this level.
+                incoming_wave = EMPTY_WAVE
+                parent_waves = None
+                continue
+
+            dm_misses[level] += 1
+            base = set_index * associativity
+            hit = False
+            found_way = -1
+            decided = False
+
+            if enable_wave and incoming_wave != EMPTY_WAVE:
+                # Property 3: probe exactly the way the parent last saw this
+                # tag occupy.  The tag cannot have moved without being
+                # processed here (which would have refreshed the pointer), so
+                # a mismatch proves the tag is absent.
+                counters.wave_decisions += 1
+                counters.tag_comparisons += 1
+                if level_tags[base + incoming_wave] == block:
+                    hit = True
+                    found_way = incoming_wave
+                    counters.wave_hits += 1
+                else:
+                    counters.wave_misses += 1
+                decided = True
+
+            if not decided and enable_mre:
+                # Property 4: the most recently evicted tag is guaranteed
+                # absent, so a match means "miss" with one comparison.
+                counters.tag_comparisons += 1
+                if level_mre_tag[set_index] == block:
+                    counters.mre_decisions += 1
+                    decided = True
+
+            if not decided:
+                counters.searches += 1
+                for way in range(associativity):
+                    tag = level_tags[base + way]
+                    if tag == INVALID_TAG:
+                        continue
+                    counters.tag_comparisons += 1
+                    if tag == block:
+                        hit = True
+                        found_way = way
+                        counters.search_hits += 1
+                        break
+
+            if hit:
+                # Algorithm 1: Handle_hit.
+                level_mra[set_index] = block
+                if parent_waves is not None:
+                    parent_waves[parent_entry] = found_way
+                next_entry = base + found_way
+            else:
+                # Algorithm 2: Handle_miss.
+                misses[level] += 1
+                level_mra[set_index] = block
+                victim = level_fifo[set_index]
+                victim_slot = base + victim
+                displaced_tag = level_tags[victim_slot]
+                displaced_wave = level_waves[victim_slot]
+                if level_mre_tag[set_index] == block:
+                    # Re-insert the evicted tag, recycling its wave pointer,
+                    # and stash the newly evicted entry in the MRE slot.
+                    level_tags[victim_slot] = block
+                    level_waves[victim_slot] = level_mre_wave[set_index]
+                    level_mre_tag[set_index] = displaced_tag
+                    level_mre_wave[set_index] = displaced_wave
+                else:
+                    level_tags[victim_slot] = block
+                    level_waves[victim_slot] = EMPTY_WAVE
+                    if displaced_tag != INVALID_TAG:
+                        level_mre_tag[set_index] = displaced_tag
+                        level_mre_wave[set_index] = displaced_wave
+                level_fifo[set_index] = (victim + 1) % associativity
+                if parent_waves is not None:
+                    parent_waves[parent_entry] = victim
+                next_entry = victim_slot
+
+            incoming_wave = level_waves[next_entry]
+            parent_waves = level_waves
+            parent_entry = next_entry
+
+    def run(self, trace: Union[Trace, Iterable[int]], trace_name: Optional[str] = None) -> SimulationResults:
+        """Simulate a whole trace and return the per-configuration results."""
+        start = time.perf_counter()
+        access_block = self._access_block
+        if isinstance(trace, Trace):
+            offset_bits = self._offset_bits
+            for address in trace.address_list():
+                access_block(address >> offset_bits)
+            name = trace_name or trace.name
+        else:
+            for address in trace:
+                self.access(int(address))
+            name = trace_name or "trace"
+        self._elapsed += time.perf_counter() - start
+        return self.results(trace_name=name)
+
+    # -- results ---------------------------------------------------------------
+
+    def results(self, trace_name: str = "trace") -> SimulationResults:
+        """Per-configuration results accumulated so far."""
+        results = SimulationResults(
+            counters=self.counters,
+            elapsed_seconds=self._elapsed,
+            simulator_name="dew",
+            trace_name=trace_name,
+        )
+        for level in range(self.tree.num_levels):
+            results.add(
+                ConfigResult(
+                    config=self.tree.config_at(level),
+                    accesses=self._requests,
+                    misses=self._misses[level],
+                    compulsory_misses=self._compulsory,
+                )
+            )
+            if self.tree.associativity > 1:
+                results.add(
+                    ConfigResult(
+                        config=self.tree.config_at(level, associativity=1),
+                        accesses=self._requests,
+                        misses=self._dm_misses[level],
+                        compulsory_misses=self._compulsory,
+                    )
+                )
+        return results
+
+    def reset(self) -> None:
+        """Clear all simulation state, counters and results."""
+        self.tree.reset()
+        self.counters = DewCounters()
+        self.counters.ensure_levels(self.tree.num_levels)
+        self._misses = [0] * self.tree.num_levels
+        self._dm_misses = [0] * self.tree.num_levels
+        self._requests = 0
+        self._compulsory = 0
+        self._seen_blocks = set()
+        self._elapsed = 0.0
+        self._build_level_views()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DewSimulator(block_size={self.block_size}, associativity={self.associativity}, "
+            f"levels={self.tree.num_levels}, requests={self._requests})"
+        )
+
+
+def simulate_fifo_family(
+    trace: Union[Trace, Iterable[int]],
+    block_size: int,
+    associativity: int,
+    set_sizes: Optional[Sequence[int]] = None,
+    **simulator_options: bool,
+) -> SimulationResults:
+    """Convenience wrapper: build a :class:`DewSimulator`, run it, return results.
+
+    ``simulator_options`` are forwarded to :class:`DewSimulator` (the
+    ``enable_*`` ablation switches and ``track_compulsory``).
+    """
+    simulator = DewSimulator(block_size, associativity, set_sizes, **simulator_options)
+    return simulator.run(trace)

@@ -1,0 +1,178 @@
+"""Executable statements of the four DEW properties.
+
+The paper's speed claims rest on four structural properties (Section 3.2).
+This module states each of them as a checkable predicate over a live
+:class:`~repro.core.dew.DewSimulator` and a reference oracle, so the test
+suite (and curious users) can verify them on arbitrary traces rather than
+taking them on faith.
+
+The checks are deliberately written for clarity, not speed: they re-derive
+ground truth with the reference simulator and compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cache.simulator import SingleConfigSimulator
+from repro.core.config import CacheConfig
+from repro.core.dew import DewSimulator
+from repro.types import EMPTY_WAVE, INVALID_TAG, ReplacementPolicy
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of checking one property over a trace."""
+
+    name: str
+    holds: bool
+    checked: int
+    violations: List[str]
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _reference_caches(simulator: DewSimulator) -> Dict[int, SingleConfigSimulator]:
+    """One reference FIFO cache per tree level, same (A, B) as the DEW run."""
+    caches = {}
+    for level in range(simulator.tree.num_levels):
+        config = CacheConfig(
+            num_sets=simulator.tree.set_sizes[level],
+            associativity=simulator.associativity,
+            block_size=simulator.block_size,
+            policy=ReplacementPolicy.FIFO,
+        )
+        caches[level] = SingleConfigSimulator(config)
+    return caches
+
+
+def check_property1_path(simulator: DewSimulator, addresses: Sequence[int]) -> PropertyReport:
+    """Property 1: each request maps to exactly one node per level, and the
+    node at level ``k+1`` is one of the two children of the node at level ``k``."""
+    violations: List[str] = []
+    checked = 0
+    tree = simulator.tree
+    for address in addresses:
+        block = address >> tree.offset_bits
+        previous_index = None
+        for level, size in enumerate(tree.set_sizes):
+            index = block & (size - 1)
+            checked += 1
+            if previous_index is not None:
+                parent = tree.parent_of(level, index)
+                if parent != previous_index:
+                    violations.append(
+                        f"address {address:#x}: level {level} node {index} is not a child "
+                        f"of level {level - 1} node {previous_index}"
+                    )
+            previous_index = index
+    return PropertyReport("property1-binomial-tree", not violations, checked, violations[:10])
+
+
+def check_property2_mra(simulator_factory, addresses: Sequence[int]) -> PropertyReport:
+    """Property 2: whenever the requested block equals a node's MRA tag, the
+    block is resident in that node's set and in every deeper set on its path
+    (checked against independent reference caches)."""
+    simulator: DewSimulator = simulator_factory()
+    references = _reference_caches(simulator)
+    tree = simulator.tree
+    violations: List[str] = []
+    checked = 0
+    for address in addresses:
+        block = address >> tree.offset_bits
+        for level in range(tree.num_levels):
+            index = block & (tree.set_sizes[level] - 1)
+            if tree.mra[level][index] == block:
+                checked += 1
+                for deeper in range(level, tree.num_levels):
+                    if not references[deeper].contains_block(block):
+                        violations.append(
+                            f"address {address:#x}: MRA match at level {level} but block absent "
+                            f"from reference cache at level {deeper}"
+                        )
+                break
+        simulator.access(address)
+        for reference in references.values():
+            reference.access(address)
+    return PropertyReport("property2-mra-implies-hit-below", not violations, checked, violations[:10])
+
+
+def check_property3_wave(simulator_factory, addresses: Sequence[int]) -> PropertyReport:
+    """Property 3: a non-empty wave pointer on a parent entry holding tag ``t``
+    locates ``t`` in the child set if and only if ``t`` is resident there."""
+    simulator: DewSimulator = simulator_factory()
+    references = _reference_caches(simulator)
+    tree = simulator.tree
+    associativity = simulator.associativity
+    violations: List[str] = []
+    checked = 0
+    for address in addresses:
+        simulator.access(address)
+        for reference in references.values():
+            reference.access(address)
+        # Audit every non-empty wave pointer in the whole tree.
+        for level in range(tree.num_levels - 1):
+            child_level = level + 1
+            for slot, tag in enumerate(tree.tags[level]):
+                if tag == INVALID_TAG:
+                    continue
+                wave = tree.waves[level][slot]
+                if wave == EMPTY_WAVE:
+                    continue
+                checked += 1
+                child_index = tag & (tree.set_sizes[child_level] - 1)
+                child_slot = child_index * associativity + wave
+                points_at_tag = tree.tags[child_level][child_slot] == tag
+                resident = references[child_level].contains_block(tag)
+                if points_at_tag != resident:
+                    violations.append(
+                        f"level {level} slot {slot} tag {tag:#x}: wave pointer says "
+                        f"{'present' if points_at_tag else 'absent'} but reference says "
+                        f"{'present' if resident else 'absent'}"
+                    )
+    return PropertyReport("property3-wave-pointer-decides", not violations, checked, violations[:10])
+
+
+def check_property4_mre(simulator_factory, addresses: Sequence[int]) -> PropertyReport:
+    """Property 4: a node's MRE tag is never resident in that node's set."""
+    simulator: DewSimulator = simulator_factory()
+    references = _reference_caches(simulator)
+    tree = simulator.tree
+    violations: List[str] = []
+    checked = 0
+    for address in addresses:
+        simulator.access(address)
+        for reference in references.values():
+            reference.access(address)
+        for level in range(tree.num_levels):
+            for index in range(tree.set_sizes[level]):
+                mre = tree.mre_tag[level][index]
+                if mre == INVALID_TAG:
+                    continue
+                checked += 1
+                if mre in tree.resident_blocks(level, index):
+                    violations.append(
+                        f"level {level} set {index}: MRE tag {mre:#x} is still resident"
+                    )
+    return PropertyReport("property4-mre-implies-miss", not violations, checked, violations[:10])
+
+
+def check_all_properties(
+    addresses: Sequence[int],
+    block_size: int = 16,
+    associativity: int = 2,
+    set_sizes: Sequence[int] = (1, 2, 4, 8),
+) -> List[PropertyReport]:
+    """Run all four property checks over ``addresses`` and return the reports."""
+
+    def factory() -> DewSimulator:
+        return DewSimulator(block_size, associativity, set_sizes)
+
+    walker = factory()
+    reports = [check_property1_path(walker, addresses)]
+    reports.append(check_property2_mra(factory, addresses))
+    reports.append(check_property3_wave(factory, addresses))
+    reports.append(check_property4_mre(factory, addresses))
+    return reports

@@ -1,0 +1,186 @@
+"""Result containers for multi-configuration simulation runs.
+
+A DEW pass produces hit/miss counts for a whole family of configurations at
+once; :class:`SimulationResults` is the dictionary-like container holding one
+:class:`ConfigResult` per configuration, plus the run's counters and timing.
+The same container is produced by the Dinero-style baseline (via
+:func:`SimulationResults.from_stats`) so the two can be compared directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.cache.stats import CacheStats
+from repro.core.config import CacheConfig
+from repro.core.counters import DewCounters
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ConfigResult:
+    """Exact hit/miss outcome for one cache configuration."""
+
+    config: CacheConfig
+    accesses: int
+    misses: int
+    compulsory_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of hits (accesses minus misses)."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access; 0 for an empty trace."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access; 0 for an empty trace."""
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view for reporting."""
+        return {
+            "num_sets": self.config.num_sets,
+            "associativity": self.config.associativity,
+            "block_size": self.config.block_size,
+            "policy": self.config.policy.value,
+            "total_size": self.config.total_size,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "compulsory_misses": self.compulsory_misses,
+        }
+
+
+class SimulationResults:
+    """Hit/miss results for a family of configurations from one simulation run."""
+
+    def __init__(
+        self,
+        results: Optional[Iterable[ConfigResult]] = None,
+        counters: Optional[DewCounters] = None,
+        elapsed_seconds: float = 0.0,
+        simulator_name: str = "dew",
+        trace_name: str = "trace",
+    ) -> None:
+        self._by_config: Dict[CacheConfig, ConfigResult] = {}
+        for result in results or []:
+            self.add(result)
+        self.counters = counters or DewCounters()
+        self.elapsed_seconds = elapsed_seconds
+        self.simulator_name = simulator_name
+        self.trace_name = trace_name
+
+    # -- container protocol ---------------------------------------------------
+
+    def add(self, result: ConfigResult) -> None:
+        """Insert one per-configuration result (configurations must be unique)."""
+        if result.config in self._by_config:
+            raise SimulationError(f"duplicate result for configuration {result.config.label()}")
+        self._by_config[result.config] = result
+
+    def __len__(self) -> int:
+        return len(self._by_config)
+
+    def __iter__(self) -> Iterator[ConfigResult]:
+        return iter(sorted(self._by_config.values(), key=lambda r: r.config))
+
+    def __contains__(self, config: CacheConfig) -> bool:
+        return config in self._by_config
+
+    def __getitem__(self, config: CacheConfig) -> ConfigResult:
+        try:
+            return self._by_config[config]
+        except KeyError as exc:
+            raise KeyError(f"no result for configuration {config.label()}") from exc
+
+    def configs(self) -> List[CacheConfig]:
+        """All configurations covered by this run, sorted."""
+        return sorted(self._by_config)
+
+    # -- lookups --------------------------------------------------------------
+
+    def get(self, config: CacheConfig) -> Optional[ConfigResult]:
+        """Result for ``config`` or ``None``."""
+        return self._by_config.get(config)
+
+    def misses(self, config: CacheConfig) -> int:
+        """Miss count for ``config``."""
+        return self[config].misses
+
+    def miss_rates(self) -> Dict[CacheConfig, float]:
+        """Miss rate per configuration."""
+        return {config: result.miss_rate for config, result in self._by_config.items()}
+
+    def best_config(self, max_total_size: Optional[int] = None) -> ConfigResult:
+        """Configuration with the fewest misses (optionally capped by capacity).
+
+        Ties are broken toward the smaller cache, reflecting the embedded
+        design goal the paper opens with.
+        """
+        candidates = [
+            result
+            for result in self._by_config.values()
+            if max_total_size is None or result.config.total_size <= max_total_size
+        ]
+        if not candidates:
+            raise SimulationError("no configuration satisfies the size constraint")
+        return min(candidates, key=lambda r: (r.misses, r.config.total_size))
+
+    # -- interoperability -----------------------------------------------------
+
+    @classmethod
+    def from_stats(
+        cls,
+        stats: Mapping[CacheConfig, CacheStats],
+        elapsed_seconds: float = 0.0,
+        simulator_name: str = "dinero",
+        trace_name: str = "trace",
+    ) -> "SimulationResults":
+        """Convert a Dinero-style per-config stats mapping into results."""
+        results = [
+            ConfigResult(
+                config=config,
+                accesses=stat.accesses,
+                misses=stat.misses,
+                compulsory_misses=stat.compulsory_misses,
+            )
+            for config, stat in stats.items()
+        ]
+        return cls(
+            results,
+            elapsed_seconds=elapsed_seconds,
+            simulator_name=simulator_name,
+            trace_name=trace_name,
+        )
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Flat list of per-configuration dictionaries (sorted by config)."""
+        return [result.as_dict() for result in self]
+
+    def diff(self, other: "SimulationResults") -> List[Tuple[CacheConfig, int, int]]:
+        """Configurations where the two runs disagree on miss counts.
+
+        Returns ``(config, self_misses, other_misses)`` tuples for every
+        configuration present in both runs whose miss counts differ.
+        """
+        differences = []
+        for config, result in self._by_config.items():
+            other_result = other.get(config)
+            if other_result is None:
+                continue
+            if other_result.misses != result.misses or other_result.accesses != result.accesses:
+                differences.append((config, result.misses, other_result.misses))
+        return differences
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResults({self.simulator_name!r}, {len(self)} configs, "
+            f"trace={self.trace_name!r}, {self.elapsed_seconds:.3f}s)"
+        )

@@ -1,0 +1,175 @@
+"""The DEW simulation tree (Property 1) and its per-node storage.
+
+For one ``(block size B, associativity A)`` pair the tree has one *level* per
+simulated set size.  Level ``k`` models the cache with ``set_sizes[k]`` sets;
+node ``i`` of level ``k`` is set ``i`` of that cache.  A block address maps
+to node ``block & (S_k - 1)`` at level ``k``, so the node for set ``i`` at
+level ``k`` has exactly two children at level ``k+1``: sets ``i`` and
+``i + S_k`` (Figure 1 of the paper).
+
+Each node stores, per the paper's Section 5 accounting:
+
+* a tag list of ``A`` entries, each a (tag, wave pointer) pair,
+* the MRA tag (most recently accessed tag of the set, Property 2),
+* the MRE entry: most recently evicted tag plus its wave pointer
+  (Property 4),
+* the FIFO round-robin victim pointer.
+
+The storage is laid out as flat Python lists per level (``tags[k]`` has
+``S_k * A`` slots) because attribute-light list indexing is the fastest pure
+Python representation for the simulator's inner loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import CacheConfig
+from repro.errors import ConfigurationError
+from repro.types import EMPTY_WAVE, INVALID_TAG, ReplacementPolicy, is_power_of_two, log2_exact
+
+
+def default_paper_set_sizes() -> Tuple[int, ...]:
+    """The paper's set-size sweep: ``2^0 .. 2^14``."""
+    return tuple(2**i for i in range(0, 15))
+
+
+class DewTree:
+    """Storage for one DEW simulation tree (one block size, one associativity).
+
+    Parameters
+    ----------
+    block_size:
+        Cache block size ``B`` in bytes (power of two).
+    associativity:
+        Number of ways ``A`` in every simulated set (>= 1).
+    set_sizes:
+        Strictly increasing powers of two, each double the previous, e.g.
+        ``(1, 2, 4, ..., 16384)``.  Defaults to the paper's sweep.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        associativity: int,
+        set_sizes: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not is_power_of_two(block_size):
+            raise ConfigurationError(f"block size must be a power of two, got {block_size}")
+        if associativity < 1:
+            raise ConfigurationError(f"associativity must be >= 1, got {associativity}")
+        sizes = tuple(set_sizes) if set_sizes is not None else default_paper_set_sizes()
+        if not sizes:
+            raise ConfigurationError("at least one set size is required")
+        for size in sizes:
+            if not is_power_of_two(size):
+                raise ConfigurationError(f"set size {size} is not a power of two")
+        for previous, current in zip(sizes, sizes[1:]):
+            if current != 2 * previous:
+                raise ConfigurationError(
+                    "set sizes must double from level to level "
+                    f"(got {previous} followed by {current})"
+                )
+        self.block_size = block_size
+        self.associativity = associativity
+        self.set_sizes: Tuple[int, ...] = sizes
+        self.offset_bits = log2_exact(block_size)
+        self.num_levels = len(sizes)
+
+        # Flat per-level storage (see module docstring).
+        self.tags: List[List[int]] = []
+        self.waves: List[List[int]] = []
+        self.fifo_ptr: List[List[int]] = []
+        self.mra: List[List[int]] = []
+        self.mre_tag: List[List[int]] = []
+        self.mre_wave: List[List[int]] = []
+        for size in sizes:
+            self.tags.append([INVALID_TAG] * (size * associativity))
+            self.waves.append([EMPTY_WAVE] * (size * associativity))
+            self.fifo_ptr.append([0] * size)
+            self.mra.append([INVALID_TAG] * size)
+            self.mre_tag.append([INVALID_TAG] * size)
+            self.mre_wave.append([EMPTY_WAVE] * size)
+
+    # -- structural queries ---------------------------------------------------
+
+    def level_of(self, num_sets: int) -> int:
+        """Level index simulating the cache with ``num_sets`` sets."""
+        try:
+            return self.set_sizes.index(num_sets)
+        except ValueError as exc:
+            raise ConfigurationError(f"set size {num_sets} is not simulated by this tree") from exc
+
+    def config_at(self, level: int, associativity: Optional[int] = None) -> CacheConfig:
+        """The cache configuration simulated at ``level``."""
+        return CacheConfig(
+            num_sets=self.set_sizes[level],
+            associativity=associativity if associativity is not None else self.associativity,
+            block_size=self.block_size,
+            policy=ReplacementPolicy.FIFO,
+        )
+
+    def configs(self, include_direct_mapped: bool = True) -> List[CacheConfig]:
+        """All configurations this tree simulates in one pass."""
+        configs = [self.config_at(level) for level in range(self.num_levels)]
+        if include_direct_mapped and self.associativity > 1:
+            configs.extend(self.config_at(level, associativity=1) for level in range(self.num_levels))
+        return configs
+
+    def node_count(self) -> int:
+        """Total number of simulation-tree nodes."""
+        return sum(self.set_sizes)
+
+    def children_of(self, level: int, set_index: int) -> Tuple[int, int]:
+        """Set indices at ``level + 1`` that are children of ``(level, set_index)``."""
+        if level + 1 >= self.num_levels:
+            raise ConfigurationError("leaf nodes have no children")
+        return set_index, set_index + self.set_sizes[level]
+
+    def parent_of(self, level: int, set_index: int) -> int:
+        """Set index at ``level - 1`` that is the parent of ``(level, set_index)``."""
+        if level == 0:
+            raise ConfigurationError("root nodes have no parent")
+        return set_index & (self.set_sizes[level - 1] - 1)
+
+    # -- paper's storage accounting (Section 5) --------------------------------
+
+    def storage_bits(self, tag_bits: int = 32, pointer_bits: int = 32) -> int:
+        """Storage required by the tree using the paper's bit budget.
+
+        The paper charges, per node, ``96 + 64 * A`` bits: MRA tag, MRE tag
+        and MRE wave pointer (3 x 32) plus ``A`` tag-list entries of
+        (tag, wave pointer) = 64 bits each; per level this is
+        ``S * (96 + 64 * A)`` bits.
+        """
+        per_node = 3 * max(tag_bits, pointer_bits) + self.associativity * (tag_bits + pointer_bits)
+        return sum(size * per_node for size in self.set_sizes)
+
+    # -- content inspection (used by verification and tests) -------------------
+
+    def resident_blocks(self, level: int, set_index: int) -> List[int]:
+        """Blocks currently resident in one simulated set (way order)."""
+        associativity = self.associativity
+        base = set_index * associativity
+        level_tags = self.tags[level]
+        return [
+            level_tags[base + way]
+            for way in range(associativity)
+            if level_tags[base + way] != INVALID_TAG
+        ]
+
+    def reset(self) -> None:
+        """Return every node to the empty state."""
+        for level, size in enumerate(self.set_sizes):
+            self.tags[level] = [INVALID_TAG] * (size * self.associativity)
+            self.waves[level] = [EMPTY_WAVE] * (size * self.associativity)
+            self.fifo_ptr[level] = [0] * size
+            self.mra[level] = [INVALID_TAG] * size
+            self.mre_tag[level] = [INVALID_TAG] * size
+            self.mre_wave[level] = [EMPTY_WAVE] * size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DewTree(block_size={self.block_size}, associativity={self.associativity}, "
+            f"levels={self.num_levels}, sets={self.set_sizes[0]}..{self.set_sizes[-1]})"
+        )

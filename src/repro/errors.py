@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so applications can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid cache configuration or configuration space was requested.
+
+    Raised, for example, when a set size or associativity is not a power of
+    two, when a block size is zero, or when a configuration space is empty.
+    """
+
+
+class TraceError(ReproError):
+    """A trace file or trace object is malformed or inconsistent."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file could not be parsed in the requested format."""
+
+
+class SimulationError(ReproError):
+    """A simulator was driven into an inconsistent state.
+
+    This normally indicates a bug in the caller (for instance, feeding
+    negative addresses) rather than in the simulator itself.
+    """
+
+
+class VerificationError(ReproError):
+    """Cross-checking two simulators found differing hit/miss counts."""
+
+
+class ExplorationError(ReproError):
+    """Design-space exploration was asked an unsatisfiable question."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""

@@ -1,0 +1,28 @@
+"""Design-space exploration on top of multi-configuration simulation results.
+
+The paper's motivation (Section 1) is embedded cache tuning: given exact
+hit/miss counts for hundreds of configurations, pick the cache that meets
+energy/performance/cost constraints.  This package closes that loop:
+
+``energy``
+    An analytic per-access energy and access-time model in the spirit of
+    CACTI-style estimators (documented, deliberately simple coefficients).
+``pareto``
+    Pareto-front extraction over (size, miss rate, energy, ...) metrics.
+``tuner``
+    Constraint-driven selection of the best configuration for a workload.
+"""
+
+from repro.explore.energy import EnergyModel, EnergyEstimate
+from repro.explore.pareto import ParetoPoint, pareto_front
+from repro.explore.tuner import CacheTuner, TuningConstraints, TuningOutcome
+
+__all__ = [
+    "EnergyModel",
+    "EnergyEstimate",
+    "ParetoPoint",
+    "pareto_front",
+    "CacheTuner",
+    "TuningConstraints",
+    "TuningOutcome",
+]

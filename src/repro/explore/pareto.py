@@ -1,0 +1,80 @@
+"""Pareto-front extraction over per-configuration metrics.
+
+Cache tuning is inherently multi-objective: capacity (cost/area), miss rate
+(performance) and energy pull in different directions.  The helpers here
+compute the set of configurations not dominated in any requested metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import CacheConfig
+from repro.errors import ExplorationError
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration and the metric values used for domination checks.
+
+    All metrics are treated as "lower is better"; negate a metric before
+    constructing the point if it should be maximised.
+    """
+
+    config: CacheConfig
+    metrics: Tuple[float, ...]
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True when this point is no worse in every metric and better in one."""
+        if len(self.metrics) != len(other.metrics):
+            raise ExplorationError("Pareto points must have the same number of metrics")
+        no_worse = all(a <= b for a, b in zip(self.metrics, other.metrics))
+        strictly_better = any(a < b for a, b in zip(self.metrics, other.metrics))
+        return no_worse and strictly_better
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Return the non-dominated subset of ``points`` (stable order)."""
+    front: List[ParetoPoint] = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            if other.dominates(candidate):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front
+
+
+def pareto_front_from_results(
+    results,
+    metric_fn,
+) -> List[ParetoPoint]:
+    """Build points from an iterable of :class:`ConfigResult` and extract the front.
+
+    ``metric_fn(result)`` must return a tuple of lower-is-better metrics.
+    """
+    points = [ParetoPoint(result.config, tuple(float(m) for m in metric_fn(result))) for result in results]
+    return pareto_front(points)
+
+
+def size_missrate_front(results) -> List[ParetoPoint]:
+    """The classic (capacity, miss rate) Pareto front of a result set."""
+    return pareto_front_from_results(
+        results, lambda result: (result.config.total_size, result.miss_rate)
+    )
+
+
+def front_as_rows(front: Sequence[ParetoPoint], metric_names: Sequence[str]) -> List[Dict[str, object]]:
+    """Render a front as a list of dictionaries for tabular reporting."""
+    rows = []
+    for point in front:
+        row: Dict[str, object] = {"config": point.config.label(), "total_size": point.config.total_size}
+        for name, value in zip(metric_names, point.metrics):
+            row[name] = value
+        rows.append(row)
+    return rows

@@ -1,0 +1,191 @@
+"""Constraint-driven cache selection.
+
+:class:`CacheTuner` is the "so what" of fast multi-configuration simulation:
+run DEW once per (block size, associativity) family, hand the combined
+results to the tuner together with area/performance/energy constraints, and
+get back the configuration an embedded designer would pick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.config import CacheConfig
+from repro.core.results import ConfigResult, SimulationResults
+from repro.errors import ExplorationError
+from repro.explore.energy import EnergyEstimate, EnergyModel
+
+
+@dataclass(frozen=True)
+class TuningConstraints:
+    """Hard limits a candidate configuration must satisfy."""
+
+    max_total_size: Optional[int] = None
+    max_miss_rate: Optional[float] = None
+    max_energy_nj: Optional[float] = None
+    max_average_access_time_ns: Optional[float] = None
+    min_associativity: Optional[int] = None
+    max_associativity: Optional[int] = None
+
+    def admits(self, result: ConfigResult, estimate: EnergyEstimate) -> bool:
+        """Check whether one configuration satisfies every constraint."""
+        config = result.config
+        if self.max_total_size is not None and config.total_size > self.max_total_size:
+            return False
+        if self.max_miss_rate is not None and result.miss_rate > self.max_miss_rate:
+            return False
+        if self.max_energy_nj is not None and estimate.total_energy_nj > self.max_energy_nj:
+            return False
+        if (
+            self.max_average_access_time_ns is not None
+            and estimate.average_access_time_ns > self.max_average_access_time_ns
+        ):
+            return False
+        if self.min_associativity is not None and config.associativity < self.min_associativity:
+            return False
+        if self.max_associativity is not None and config.associativity > self.max_associativity:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class TuningOutcome:
+    """The tuner's decision and the evidence behind it."""
+
+    best: ConfigResult
+    estimate: EnergyEstimate
+    objective_value: float
+    candidates_considered: int
+    candidates_admitted: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view for reporting."""
+        return {
+            "config": self.best.config.label(),
+            "total_size": self.best.config.total_size,
+            "miss_rate": self.best.miss_rate,
+            "total_energy_nj": self.estimate.total_energy_nj,
+            "average_access_time_ns": self.estimate.average_access_time_ns,
+            "objective_value": self.objective_value,
+            "candidates_considered": self.candidates_considered,
+            "candidates_admitted": self.candidates_admitted,
+        }
+
+
+class CacheTuner:
+    """Select the best configuration from simulation results under constraints.
+
+    Parameters
+    ----------
+    energy_model:
+        The analytic model used for energy/latency terms (default model if
+        omitted).
+    objective:
+        What to minimise among admissible configurations: ``"misses"``,
+        ``"energy"``, ``"edp"`` (energy-delay product) or ``"amat"``
+        (average access time).
+    """
+
+    _OBJECTIVES = ("misses", "energy", "edp", "amat")
+
+    def __init__(self, energy_model: Optional[EnergyModel] = None, objective: str = "energy") -> None:
+        if objective not in self._OBJECTIVES:
+            raise ExplorationError(
+                f"unknown objective {objective!r}; expected one of {self._OBJECTIVES}"
+            )
+        self.energy_model = energy_model or EnergyModel()
+        self.objective = objective
+
+    def _objective_value(self, result: ConfigResult, estimate: EnergyEstimate) -> float:
+        if self.objective == "misses":
+            return float(result.misses)
+        if self.objective == "energy":
+            return estimate.total_energy_nj
+        if self.objective == "amat":
+            return estimate.average_access_time_ns
+        # Energy-delay product: energy x total run time (in arbitrary but
+        # consistent units).
+        runtime = result.accesses * estimate.average_access_time_ns
+        return estimate.total_energy_nj * runtime
+
+    def tune(
+        self,
+        results: Iterable[ConfigResult],
+        constraints: Optional[TuningConstraints] = None,
+    ) -> TuningOutcome:
+        """Pick the admissible configuration minimising the objective.
+
+        Raises :class:`~repro.errors.ExplorationError` when no configuration
+        satisfies the constraints.
+        """
+        constraints = constraints or TuningConstraints()
+        best: Optional[TuningOutcome] = None
+        considered = 0
+        admitted = 0
+        for result in results:
+            considered += 1
+            estimate = self.energy_model.estimate(result)
+            if not constraints.admits(result, estimate):
+                continue
+            admitted += 1
+            value = self._objective_value(result, estimate)
+            if (
+                best is None
+                or value < best.objective_value
+                or (value == best.objective_value and result.config.total_size < best.best.config.total_size)
+            ):
+                best = TuningOutcome(
+                    best=result,
+                    estimate=estimate,
+                    objective_value=value,
+                    candidates_considered=considered,
+                    candidates_admitted=admitted,
+                )
+        if best is None:
+            raise ExplorationError("no configuration satisfies the tuning constraints")
+        return TuningOutcome(
+            best=best.best,
+            estimate=best.estimate,
+            objective_value=best.objective_value,
+            candidates_considered=considered,
+            candidates_admitted=admitted,
+        )
+
+    def rank(
+        self,
+        results: Iterable[ConfigResult],
+        constraints: Optional[TuningConstraints] = None,
+        top: int = 10,
+    ) -> List[TuningOutcome]:
+        """Return the ``top`` admissible configurations ordered by the objective."""
+        constraints = constraints or TuningConstraints()
+        outcomes: List[TuningOutcome] = []
+        considered = 0
+        for result in results:
+            considered += 1
+            estimate = self.energy_model.estimate(result)
+            if not constraints.admits(result, estimate):
+                continue
+            outcomes.append(
+                TuningOutcome(
+                    best=result,
+                    estimate=estimate,
+                    objective_value=self._objective_value(result, estimate),
+                    candidates_considered=considered,
+                    candidates_admitted=len(outcomes) + 1,
+                )
+            )
+        outcomes.sort(key=lambda outcome: (outcome.objective_value, outcome.best.config.total_size))
+        return outcomes[:top]
+
+
+def tune_from_results(
+    results: SimulationResults,
+    objective: str = "energy",
+    constraints: Optional[TuningConstraints] = None,
+    energy_model: Optional[EnergyModel] = None,
+) -> TuningOutcome:
+    """One-call convenience wrapper around :class:`CacheTuner`."""
+    tuner = CacheTuner(energy_model=energy_model, objective=objective)
+    return tuner.tune(list(results), constraints=constraints)

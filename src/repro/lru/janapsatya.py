@@ -1,0 +1,232 @@
+"""Single-pass multi-configuration LRU simulation (Janapsatya-style).
+
+Janapsatya et al. (ASP-DAC 2006) showed that, because LRU caches obey the
+inclusion property, a binomial tree of cache sets can produce exact hit/miss
+counts for every set size in one pass over the trace — and because each node
+keeps its tags in recency order, the position at which a tag is found also
+yields the hit/miss outcome for *every associativity at once* (the Mattson
+stack property applied within a set).
+
+Two aspects mirror DEW and make the comparison meaningful:
+
+* the same binomial-tree walk over set sizes (Property 1);
+* an early-stop rule analogous to DEW's MRA: if the tag is found in the MRU
+  position of a node, it is in the MRU position of every deeper node, and
+  since "move to MRU" is then a no-op the walk can stop without
+  desynchronising deeper levels.
+
+This simulator is exact for the LRU policy only.  It is used by the test
+suite as an independent oracle for LRU runs and by the ablation benchmarks
+that reproduce the paper's limitation statement (DEW simulating LRU-style
+workloads vs a dedicated LRU simulator).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.config import CacheConfig
+from repro.core.results import ConfigResult, SimulationResults
+from repro.errors import ConfigurationError, SimulationError
+from repro.lru.crcb import CrcbFilter
+from repro.trace.trace import Trace
+from repro.types import ReplacementPolicy, is_power_of_two, log2_exact
+
+
+@dataclass
+class JanapsatyaCounters:
+    """Work counters for the LRU single-pass simulator."""
+
+    requests: int = 0
+    node_evaluations: int = 0
+    mru_stops: int = 0
+    tag_comparisons: int = 0
+    crcb_pruned: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dictionary view for reporting."""
+        return {
+            "requests": self.requests,
+            "node_evaluations": self.node_evaluations,
+            "mru_stops": self.mru_stops,
+            "tag_comparisons": self.tag_comparisons,
+            "crcb_pruned": self.crcb_pruned,
+        }
+
+
+class JanapsatyaSimulator:
+    """Exact single-pass LRU simulation of many (set size, associativity) pairs.
+
+    Parameters
+    ----------
+    block_size:
+        Block size in bytes shared by all simulated configurations.
+    associativities:
+        The associativities to report (all are produced from the same pass).
+        The per-set recency list is bounded by ``max(associativities)``.
+    set_sizes:
+        Strictly doubling powers of two, e.g. ``(1, 2, 4, ..., 1024)``.
+    use_mru_stop:
+        Apply the early-stop rule when the tag is found in the MRU position.
+    use_crcb_filter:
+        Pre-filter consecutive same-block accesses (CRCB-style); the pruned
+        accesses are universal hits and are added back to the hit counts, so
+        results stay exact.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        associativities: Sequence[int],
+        set_sizes: Sequence[int],
+        use_mru_stop: bool = True,
+        use_crcb_filter: bool = False,
+    ) -> None:
+        if not is_power_of_two(block_size):
+            raise ConfigurationError(f"block size must be a power of two, got {block_size}")
+        if not associativities:
+            raise ConfigurationError("at least one associativity is required")
+        if not set_sizes:
+            raise ConfigurationError("at least one set size is required")
+        for size in set_sizes:
+            if not is_power_of_two(size):
+                raise ConfigurationError(f"set size {size} is not a power of two")
+        for previous, current in zip(set_sizes, list(set_sizes)[1:]):
+            if current != 2 * previous:
+                raise ConfigurationError("set sizes must double from level to level")
+        self.block_size = block_size
+        self.offset_bits = log2_exact(block_size)
+        self.associativities = tuple(sorted(set(int(a) for a in associativities)))
+        if self.associativities[0] < 1:
+            raise ConfigurationError("associativities must be positive")
+        self.max_associativity = self.associativities[-1]
+        self.set_sizes = tuple(set_sizes)
+        self.use_mru_stop = use_mru_stop
+        self.use_crcb_filter = use_crcb_filter
+        self.counters = JanapsatyaCounters()
+        # Per level: one recency list (most recent first) per set.
+        self._sets: List[List[List[int]]] = [
+            [[] for _ in range(size)] for size in self.set_sizes
+        ]
+        # misses[level][assoc] accumulated so far.
+        self._misses: List[Dict[int, int]] = [
+            {assoc: 0 for assoc in self.associativities} for _ in self.set_sizes
+        ]
+        self._requests = 0
+        self._elapsed = 0.0
+
+    # -- simulation ------------------------------------------------------------
+
+    def access(self, address: int) -> None:
+        """Simulate one byte-address request against every configuration."""
+        if address < 0:
+            raise SimulationError(f"negative address: {address}")
+        self._access_block(address >> self.offset_bits)
+
+    def _access_block(self, block: int) -> None:
+        counters = self.counters
+        counters.requests += 1
+        self._requests += 1
+        max_assoc = self.max_associativity
+        associativities = self.associativities
+        use_mru_stop = self.use_mru_stop
+        for level, size in enumerate(self.set_sizes):
+            counters.node_evaluations += 1
+            recency = self._sets[level][block & (size - 1)]
+            try:
+                position = recency.index(block)
+            except ValueError:
+                position = -1
+            # ``index`` examines position + 1 entries on success, the whole
+            # list on failure.
+            counters.tag_comparisons += position + 1 if position >= 0 else len(recency)
+            misses_here = self._misses[level]
+            if position < 0:
+                for assoc in associativities:
+                    misses_here[assoc] += 1
+                recency.insert(0, block)
+                if len(recency) > max_assoc:
+                    recency.pop()
+                continue
+            for assoc in associativities:
+                if position >= assoc:
+                    misses_here[assoc] += 1
+            if position == 0:
+                if use_mru_stop:
+                    counters.mru_stops += 1
+                    return
+                continue
+            recency.pop(position)
+            recency.insert(0, block)
+
+    def run(self, trace: Union[Trace, Iterable[int]], trace_name: Optional[str] = None) -> SimulationResults:
+        """Simulate a whole trace and return per-configuration results."""
+        start = time.perf_counter()
+        pruned = 0
+        if isinstance(trace, Trace):
+            name = trace_name or trace.name
+            if self.use_crcb_filter:
+                filtered, pruned = CrcbFilter(self.block_size).apply(trace)
+                addresses = filtered.address_list()
+            else:
+                addresses = trace.address_list()
+            offset_bits = self.offset_bits
+            for address in addresses:
+                self._access_block(address >> offset_bits)
+        else:
+            name = trace_name or "trace"
+            for address in trace:
+                self.access(int(address))
+        if pruned:
+            # Pruned accesses are guaranteed hits in every configuration:
+            # account for them in the request count without touching misses.
+            self.counters.crcb_pruned += pruned
+            self._requests += pruned
+            self.counters.requests += pruned
+        self._elapsed += time.perf_counter() - start
+        return self.results(trace_name=name)
+
+    # -- results ---------------------------------------------------------------
+
+    def results(self, trace_name: str = "trace") -> SimulationResults:
+        """Per-configuration results accumulated so far."""
+        results = SimulationResults(
+            elapsed_seconds=self._elapsed,
+            simulator_name="janapsatya-lru",
+            trace_name=trace_name,
+        )
+        for level, size in enumerate(self.set_sizes):
+            for assoc in self.associativities:
+                config = CacheConfig(size, assoc, self.block_size, ReplacementPolicy.LRU)
+                results.add(
+                    ConfigResult(
+                        config=config,
+                        accesses=self._requests,
+                        misses=self._misses[level][assoc],
+                    )
+                )
+        return results
+
+    def reset(self) -> None:
+        """Clear all simulation state and counters."""
+        self._sets = [[[] for _ in range(size)] for size in self.set_sizes]
+        self._misses = [
+            {assoc: 0 for assoc in self.associativities} for _ in self.set_sizes
+        ]
+        self._requests = 0
+        self._elapsed = 0.0
+        self.counters = JanapsatyaCounters()
+
+
+def simulate_lru_family(
+    trace: Union[Trace, Iterable[int]],
+    block_size: int,
+    associativities: Sequence[int],
+    set_sizes: Sequence[int],
+    **options: bool,
+) -> SimulationResults:
+    """Convenience wrapper mirroring :func:`repro.core.dew.simulate_fifo_family`."""
+    simulator = JanapsatyaSimulator(block_size, associativities, set_sizes, **options)
+    return simulator.run(trace)

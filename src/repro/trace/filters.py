@@ -1,0 +1,70 @@
+"""Trace filtering and splitting utilities.
+
+The paper feeds unified SimpleScalar traces to both simulators; in practice
+one often wants to simulate instruction and data caches separately, restrict
+simulation to a window, or deduplicate consecutive accesses to the same block
+(the CRCB-style pre-filter).  These helpers produce new :class:`Trace`
+objects and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.trace import Trace
+from repro.types import AccessType
+
+
+def filter_by_type(trace: Trace, access_types: Iterable[AccessType]) -> Trace:
+    """Keep only accesses whose type is in ``access_types``."""
+    wanted = {int(t) for t in access_types}
+    if not wanted:
+        raise TraceError("filter_by_type requires at least one access type")
+    mask = np.isin(trace.access_types, list(wanted))
+    return Trace(
+        trace.addresses[mask],
+        trace.access_types[mask],
+        trace.sizes[mask],
+        name=f"{trace.name}[filtered]",
+    )
+
+
+def split_instruction_data(trace: Trace) -> Tuple[Trace, Trace]:
+    """Split a unified trace into (instruction trace, data trace)."""
+    instruction = filter_by_type(trace, [AccessType.INSTR_FETCH]).with_name(f"{trace.name}.I")
+    data = filter_by_type(trace, [AccessType.READ, AccessType.WRITE]).with_name(f"{trace.name}.D")
+    return instruction, data
+
+
+def window(trace: Trace, start: int, length: int) -> Trace:
+    """Return ``length`` accesses beginning at index ``start``."""
+    if start < 0 or length < 0:
+        raise TraceError("window start and length must be non-negative")
+    sliced = trace[start : start + length]
+    assert isinstance(sliced, Trace)
+    return sliced.with_name(f"{trace.name}[{start}:{start + length}]")
+
+
+def unique_block_trace(trace: Trace, block_size: int) -> Trace:
+    """Drop accesses that hit the same block as the immediately preceding one.
+
+    This is the pre-filter used by the CRCB family of optimisations: two
+    consecutive accesses to the same block behave identically in every cache
+    of at least that block size, so only the first needs full simulation.
+    Note that hit/miss *counts* change after filtering; the filtered trace is
+    meant for search-effort studies, not exact miss-rate reporting.
+    """
+    if len(trace) == 0:
+        return trace
+    blocks = trace.block_addresses(block_size)
+    keep = np.ones(len(trace), dtype=bool)
+    keep[1:] = blocks[1:] != blocks[:-1]
+    return Trace(
+        trace.addresses[keep],
+        trace.access_types[keep],
+        trace.sizes[keep],
+        name=f"{trace.name}[uniq{block_size}]",
+    )

@@ -1,0 +1,56 @@
+"""A single memory reference.
+
+:class:`MemoryAccess` is the scalar element of a :class:`~repro.trace.trace.Trace`.
+Bulk simulation never materialises one object per reference (that would be
+prohibitively slow for multi-million-entry traces); the record type exists for
+readable construction, file parsing and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.types import AccessType, Address
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference issued by the traced program.
+
+    Parameters
+    ----------
+    address:
+        Byte address of the reference.  Must be non-negative.
+    access_type:
+        Read, write or instruction fetch.  The DEW paper's level-1 analysis
+        is policy-only (allocate-on-miss for every reference type), so the
+        type only matters for trace filtering and statistics.
+    size:
+        Size of the reference in bytes (defaults to 4, the word size of the
+        SimpleScalar/PISA traces used in the paper).
+    """
+
+    address: Address
+    access_type: AccessType = AccessType.READ
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise TraceError(f"negative address in trace: {self.address}")
+        if self.size <= 0:
+            raise TraceError(f"non-positive access size: {self.size}")
+
+    def block_address(self, block_size: int) -> int:
+        """Return the block address of this access for ``block_size`` bytes."""
+        if block_size <= 0 or block_size & (block_size - 1):
+            raise ValueError(f"block size must be a power of two, got {block_size}")
+        return self.address >> (block_size.bit_length() - 1)
+
+    def as_din_line(self) -> str:
+        """Render this access as one line of a Dinero ``.din`` trace."""
+        label = {AccessType.READ: 0, AccessType.WRITE: 1, AccessType.INSTR_FETCH: 2}
+        return f"{label[self.access_type]} {self.address:x}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.access_type.symbol} 0x{self.address:x} ({self.size}B)"

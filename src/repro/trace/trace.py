@@ -1,0 +1,226 @@
+"""The :class:`Trace` container.
+
+A trace is stored as parallel numpy arrays (addresses, access types, sizes)
+so that multi-hundred-thousand-entry traces are cheap to hold, slice and
+convert to the plain Python lists the simulator inner loops iterate over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.record import MemoryAccess
+from repro.types import AccessType, Address
+
+
+class Trace:
+    """An immutable sequence of memory accesses.
+
+    Parameters
+    ----------
+    addresses:
+        Byte addresses, one per access.
+    access_types:
+        Optional per-access types; defaults to all reads.
+    sizes:
+        Optional per-access sizes in bytes; defaults to 4.
+    name:
+        Human-readable label (e.g. the workload name) used in reports.
+    """
+
+    def __init__(
+        self,
+        addresses: Union[Sequence[int], np.ndarray],
+        access_types: Optional[Union[Sequence[int], np.ndarray]] = None,
+        sizes: Optional[Union[Sequence[int], np.ndarray]] = None,
+        name: str = "trace",
+    ) -> None:
+        addr = np.asarray(addresses, dtype=np.int64)
+        if addr.ndim != 1:
+            raise TraceError("addresses must be a one-dimensional sequence")
+        if addr.size and addr.min() < 0:
+            raise TraceError("trace contains a negative address")
+        if access_types is None:
+            types = np.full(addr.shape, int(AccessType.READ), dtype=np.int8)
+        else:
+            types = np.asarray(access_types, dtype=np.int8)
+            if types.shape != addr.shape:
+                raise TraceError("access_types length does not match addresses")
+        if sizes is None:
+            size_arr = np.full(addr.shape, 4, dtype=np.int16)
+        else:
+            size_arr = np.asarray(sizes, dtype=np.int16)
+            if size_arr.shape != addr.shape:
+                raise TraceError("sizes length does not match addresses")
+            if size_arr.size and size_arr.min() <= 0:
+                raise TraceError("trace contains a non-positive access size")
+        self._addresses = addr
+        self._types = types
+        self._sizes = size_arr
+        self.name = name
+        self._addresses.setflags(write=False)
+        self._types.setflags(write=False)
+        self._sizes.setflags(write=False)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_accesses(cls, accesses: Iterable[MemoryAccess], name: str = "trace") -> "Trace":
+        """Build a trace from an iterable of :class:`MemoryAccess` records."""
+        records = list(accesses)
+        return cls(
+            [record.address for record in records],
+            [int(record.access_type) for record in records],
+            [record.size for record in records],
+            name=name,
+        )
+
+    @classmethod
+    def empty(cls, name: str = "empty") -> "Trace":
+        """Return a zero-length trace."""
+        return cls(np.empty(0, dtype=np.int64), name=name)
+
+    # -- basic protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._addresses.size)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for address, access_type, size in zip(self._addresses, self._types, self._sizes):
+            yield MemoryAccess(int(address), AccessType(int(access_type)), int(size))
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[MemoryAccess, "Trace"]:
+        if isinstance(index, slice):
+            return Trace(
+                self._addresses[index],
+                self._types[index],
+                self._sizes[index],
+                name=self.name,
+            )
+        return MemoryAccess(
+            int(self._addresses[index]),
+            AccessType(int(self._types[index])),
+            int(self._sizes[index]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            np.array_equal(self._addresses, other._addresses)
+            and np.array_equal(self._types, other._types)
+            and np.array_equal(self._sizes, other._sizes)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trace(name={self.name!r}, length={len(self)})"
+
+    # -- array views ----------------------------------------------------------
+
+    @property
+    def addresses(self) -> np.ndarray:
+        """Byte addresses as a read-only ``int64`` array."""
+        return self._addresses
+
+    @property
+    def access_types(self) -> np.ndarray:
+        """Per-access :class:`~repro.types.AccessType` values (as ``int8``)."""
+        return self._types
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Per-access sizes in bytes."""
+        return self._sizes
+
+    def address_list(self) -> List[int]:
+        """Addresses as a plain Python list (fastest form for simulator loops)."""
+        return self._addresses.tolist()
+
+    def block_addresses(self, block_size: int) -> np.ndarray:
+        """Block addresses of every access for the given block size."""
+        if block_size <= 0 or block_size & (block_size - 1):
+            raise TraceError(f"block size must be a power of two, got {block_size}")
+        return self._addresses >> (block_size.bit_length() - 1)
+
+    def unique_blocks(self, block_size: int) -> int:
+        """Number of distinct blocks touched at the given block size."""
+        if len(self) == 0:
+            return 0
+        return int(np.unique(self.block_addresses(block_size)).size)
+
+    # -- simple transformations ----------------------------------------------
+
+    def concatenate(self, other: "Trace", name: Optional[str] = None) -> "Trace":
+        """Return a new trace consisting of this trace followed by ``other``."""
+        return Trace(
+            np.concatenate([self._addresses, other._addresses]),
+            np.concatenate([self._types, other._types]),
+            np.concatenate([self._sizes, other._sizes]),
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    def repeat(self, count: int, name: Optional[str] = None) -> "Trace":
+        """Return this trace repeated ``count`` times back to back."""
+        if count < 0:
+            raise TraceError("repeat count must be non-negative")
+        return Trace(
+            np.tile(self._addresses, count),
+            np.tile(self._types, count),
+            np.tile(self._sizes, count),
+            name=name or f"{self.name}x{count}",
+        )
+
+    def with_name(self, name: str) -> "Trace":
+        """Return a shallow copy of this trace under a different name."""
+        return Trace(self._addresses, self._types, self._sizes, name=name)
+
+
+class TraceBuilder:
+    """Incremental builder used by workload generators and parsers.
+
+    Appending to Python lists and converting once is far cheaper than
+    repeatedly concatenating numpy arrays.
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self._addresses: List[int] = []
+        self._types: List[int] = []
+        self._sizes: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def add(
+        self,
+        address: Address,
+        access_type: AccessType = AccessType.READ,
+        size: int = 4,
+    ) -> None:
+        """Append one access."""
+        if address < 0:
+            raise TraceError(f"negative address in trace: {address}")
+        self._addresses.append(int(address))
+        self._types.append(int(access_type))
+        self._sizes.append(int(size))
+
+    def add_access(self, access: MemoryAccess) -> None:
+        """Append a pre-built :class:`MemoryAccess`."""
+        self.add(access.address, access.access_type, access.size)
+
+    def extend_addresses(
+        self,
+        addresses: Iterable[int],
+        access_type: AccessType = AccessType.READ,
+        size: int = 4,
+    ) -> None:
+        """Append many addresses sharing one access type and size."""
+        for address in addresses:
+            self.add(address, access_type, size)
+
+    def build(self) -> Trace:
+        """Freeze the builder into an immutable :class:`Trace`."""
+        return Trace(self._addresses, self._types, self._sizes, name=self.name)

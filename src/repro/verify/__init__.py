@@ -1,0 +1,10 @@
+"""Cross-checking DEW against the reference simulator.
+
+The paper states: "We have verified hit and miss rates of DEW by comparing
+with Dinero IV and found that they are exactly the same."  This package makes
+the same verification a first-class, reusable operation.
+"""
+
+from repro.verify.crosscheck import CrossCheckReport, cross_check, cross_check_space
+
+__all__ = ["CrossCheckReport", "cross_check", "cross_check_space"]

@@ -1,0 +1,89 @@
+"""Base class and helpers for workload generators.
+
+A workload generator is a deterministic function from ``(number of requests,
+seed)`` to a :class:`~repro.trace.trace.Trace`.  Determinism matters: the
+benchmark harness compares two simulators on *the same* trace, and the test
+suite pins exact hit/miss counts for known generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.trace.trace import Trace
+
+
+@dataclass
+class GeneratorSpec:
+    """Declarative description of a generator instance (for reports/CLI)."""
+
+    name: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        if not self.parameters:
+            return self.name
+        rendered = ", ".join(f"{key}={value}" for key, value in sorted(self.parameters.items()))
+        return f"{self.name}({rendered})"
+
+
+class WorkloadGenerator:
+    """Base class for all trace generators.
+
+    Subclasses implement :meth:`_addresses`, returning a numpy array of byte
+    addresses of the requested length, and may override :meth:`_access_types`
+    when the workload distinguishes instruction fetches from data accesses.
+    """
+
+    #: Short identifier used in reports and the CLI.
+    name = "workload"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    # -- subclass interface ----------------------------------------------------
+
+    def _addresses(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def _access_types(self, num_requests: int, rng: np.random.Generator) -> Optional[np.ndarray]:
+        """Per-access types; ``None`` means "all reads"."""
+        return None
+
+    def spec(self) -> GeneratorSpec:
+        """Declarative description of this generator instance."""
+        parameters = {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and key != "seed"
+        }
+        return GeneratorSpec(self.name, parameters)
+
+    # -- public API --------------------------------------------------------------
+
+    def generate(self, num_requests: int, seed: Optional[int] = None) -> Trace:
+        """Generate a trace of ``num_requests`` accesses.
+
+        The same ``(generator parameters, num_requests, seed)`` triple always
+        produces the same trace.
+        """
+        if num_requests < 0:
+            raise WorkloadError(f"num_requests must be non-negative, got {num_requests}")
+        if num_requests == 0:
+            return Trace.empty(name=self.name)
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        addresses = np.asarray(self._addresses(num_requests, rng), dtype=np.int64)
+        if addresses.shape != (num_requests,):
+            raise WorkloadError(
+                f"{type(self).__name__} produced {addresses.shape} addresses, "
+                f"expected ({num_requests},)"
+            )
+        if addresses.size and addresses.min() < 0:
+            raise WorkloadError(f"{type(self).__name__} produced a negative address")
+        types = self._access_types(num_requests, rng)
+        return Trace(addresses, access_types=types, name=self.name)

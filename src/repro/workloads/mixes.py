@@ -1,0 +1,124 @@
+"""Composing generators into application-shaped workloads.
+
+Real programs interleave several access patterns (instruction fetches, input
+streaming, table look-ups, stack traffic) and move through phases
+(initialisation, steady state, output).  The two composers here express both
+structures on top of any :class:`~repro.workloads.base.WorkloadGenerator`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.trace.trace import Trace
+from repro.workloads.base import WorkloadGenerator
+
+
+class PhasedWorkload(WorkloadGenerator):
+    """Run several generators one after another (program phases).
+
+    Parameters
+    ----------
+    phases:
+        ``(generator, weight)`` pairs; each phase receives a share of the
+        requested trace length proportional to its weight.
+    """
+
+    name = "phased"
+
+    def __init__(self, phases: Sequence[Tuple[WorkloadGenerator, float]], seed: int = 0) -> None:
+        super().__init__(seed)
+        if not phases:
+            raise WorkloadError("PhasedWorkload needs at least one phase")
+        for _, weight in phases:
+            if weight <= 0:
+                raise WorkloadError("phase weights must be positive")
+        self.phases = list(phases)
+
+    def generate(self, num_requests: int, seed: Optional[int] = None) -> Trace:
+        if num_requests < 0:
+            raise WorkloadError("num_requests must be non-negative")
+        if num_requests == 0:
+            return Trace.empty(name=self.name)
+        seed = self.seed if seed is None else seed
+        total_weight = sum(weight for _, weight in self.phases)
+        traces: List[Trace] = []
+        produced = 0
+        for position, (generator, weight) in enumerate(self.phases):
+            if position == len(self.phases) - 1:
+                count = num_requests - produced
+            else:
+                count = int(round(num_requests * weight / total_weight))
+                count = min(count, num_requests - produced)
+            if count <= 0:
+                continue
+            traces.append(generator.generate(count, seed=seed + position))
+            produced += count
+        combined = traces[0]
+        for trace in traces[1:]:
+            combined = combined.concatenate(trace)
+        return combined.with_name(self.name)
+
+    def _addresses(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError("PhasedWorkload overrides generate() directly")
+
+
+class InterleavedWorkload(WorkloadGenerator):
+    """Interleave several generators access by access (concurrent streams).
+
+    Each access is drawn from generator ``i`` with probability proportional
+    to ``weights[i]``, preserving each stream's internal order — the way a
+    CPU interleaves instruction fetches with loads and stores.
+    """
+
+    name = "interleaved"
+
+    def __init__(
+        self,
+        generators: Sequence[WorkloadGenerator],
+        weights: Optional[Sequence[float]] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if not generators:
+            raise WorkloadError("InterleavedWorkload needs at least one generator")
+        self.generators = list(generators)
+        if weights is None:
+            weights = [1.0] * len(generators)
+        if len(weights) != len(generators):
+            raise WorkloadError("weights must match generators")
+        if any(weight <= 0 for weight in weights):
+            raise WorkloadError("weights must be positive")
+        self.weights = [float(weight) for weight in weights]
+
+    def generate(self, num_requests: int, seed: Optional[int] = None) -> Trace:
+        if num_requests < 0:
+            raise WorkloadError("num_requests must be non-negative")
+        if num_requests == 0:
+            return Trace.empty(name=self.name)
+        seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(seed)
+        probabilities = np.asarray(self.weights, dtype=np.float64)
+        probabilities /= probabilities.sum()
+        choices = rng.choice(len(self.generators), size=num_requests, p=probabilities)
+        counts = np.bincount(choices, minlength=len(self.generators))
+        streams = [
+            generator.generate(int(count), seed=seed + 1 + index) if count else None
+            for index, (generator, count) in enumerate(zip(self.generators, counts))
+        ]
+        addresses = np.empty(num_requests, dtype=np.int64)
+        types = np.empty(num_requests, dtype=np.int8)
+        cursors = [0] * len(self.generators)
+        for position, generator_index in enumerate(choices):
+            stream = streams[generator_index]
+            cursor = cursors[generator_index]
+            addresses[position] = stream.addresses[cursor]
+            types[position] = stream.access_types[cursor]
+            cursors[generator_index] = cursor + 1
+        return Trace(addresses, access_types=types, name=self.name)
+
+    def _addresses(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError("InterleavedWorkload overrides generate() directly")

@@ -1,0 +1,105 @@
+"""Tests for CacheSet and CacheStats."""
+
+import pytest
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.policies import FifoPolicy, LruPolicy
+from repro.cache.stats import CacheStats
+from repro.types import AccessType
+
+
+class TestCacheSet:
+    def test_fill_then_hit(self):
+        cache_set = CacheSet(2, FifoPolicy(2))
+        hit, evicted = cache_set.access(10)
+        assert not hit and evicted is None
+        hit, evicted = cache_set.access(20)
+        assert not hit and evicted is None
+        hit, evicted = cache_set.access(10)
+        assert hit and evicted is None
+
+    def test_fifo_eviction_order(self):
+        cache_set = CacheSet(2, FifoPolicy(2))
+        cache_set.access(1)
+        cache_set.access(2)
+        cache_set.access(1)          # hit: FIFO must ignore it
+        hit, evicted = cache_set.access(3)
+        assert not hit
+        assert evicted == 1          # 1 was inserted first, despite the recent hit
+
+    def test_lru_eviction_order(self):
+        cache_set = CacheSet(2, LruPolicy(2))
+        cache_set.access(1)
+        cache_set.access(2)
+        cache_set.access(1)          # hit: 2 becomes LRU
+        hit, evicted = cache_set.access(3)
+        assert not hit
+        assert evicted == 2
+
+    def test_comparison_counting(self):
+        cache_set = CacheSet(4, FifoPolicy(4))
+        cache_set.access(1)          # empty set: 0 comparisons
+        assert cache_set.comparisons == 0
+        cache_set.access(1)          # hit on first way: 1 comparison
+        assert cache_set.comparisons == 1
+        cache_set.access(2)          # miss after examining one valid way
+        assert cache_set.comparisons == 2
+
+    def test_dirty_tracking(self):
+        cache_set = CacheSet(1, FifoPolicy(1))
+        cache_set.access(5, is_write=True)
+        assert cache_set.dirty == [True]
+        cache_set.access(6, is_write=False)
+        assert cache_set.dirty == [False]
+
+    def test_resident_blocks_and_reset(self):
+        cache_set = CacheSet(2, FifoPolicy(2))
+        cache_set.access(7)
+        cache_set.access(9)
+        assert sorted(cache_set.resident_blocks()) == [7, 9]
+        cache_set.reset()
+        assert cache_set.resident_blocks() == []
+        assert cache_set.comparisons == 0
+
+
+class TestCacheStats:
+    def test_record_hit_and_miss(self):
+        stats = CacheStats()
+        stats.record(hit=True, access_type=AccessType.READ, compulsory=False, evicted=False, comparisons=2)
+        stats.record(hit=False, access_type=AccessType.WRITE, compulsory=True, evicted=False, comparisons=4)
+        stats.record(hit=False, access_type=AccessType.WRITE, compulsory=False, evicted=True,
+                     evicted_dirty=True, comparisons=4)
+        assert stats.accesses == 3
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.compulsory_misses == 1
+        assert stats.non_compulsory_misses == 1
+        assert stats.evictions == 1
+        assert stats.writebacks == 1
+        assert stats.tag_comparisons == 10
+        assert stats.miss_rate == pytest.approx(2 / 3)
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_empty_rates(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats()
+        a.record(hit=True, access_type=AccessType.READ, compulsory=False, evicted=False, comparisons=1)
+        b = CacheStats()
+        b.record(hit=False, access_type=AccessType.READ, compulsory=True, evicted=False, comparisons=3)
+        merged = a.merge(b)
+        assert merged.accesses == 2
+        assert merged.hits == 1
+        assert merged.misses == 1
+        assert merged.tag_comparisons == 4
+        assert merged.by_type[AccessType.READ] == 2
+
+    def test_as_dict(self):
+        stats = CacheStats()
+        stats.record(hit=False, access_type=AccessType.READ, compulsory=True, evicted=False)
+        data = stats.as_dict()
+        assert data["misses"] == 1
+        assert data["compulsory_misses"] == 1

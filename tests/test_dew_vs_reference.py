@@ -1,0 +1,125 @@
+"""Exactness: DEW must reproduce the reference simulator's miss counts exactly.
+
+This is the reproduction of the paper's verification statement ("hit and miss
+rates of DEW ... are exactly the same" as Dinero IV), applied across set
+sizes, associativities, block sizes and workload types.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.simulator import SingleConfigSimulator
+from repro.core.dew import DewSimulator
+from repro.verify.crosscheck import cross_check
+from repro.workloads.mediabench import mediabench_trace
+from repro.workloads.synthetic import (
+    PointerChase,
+    RandomUniform,
+    SequentialStream,
+    StridedLoop,
+    WorkingSetGenerator,
+    ZipfGenerator,
+)
+
+SET_SIZES = (1, 2, 4, 8, 16, 32)
+
+
+def assert_exact(trace_like, block_size, associativity, set_sizes=SET_SIZES):
+    report = cross_check(trace_like, block_size, associativity, set_sizes)
+    assert report.exact, report.summary()
+    assert report.configs_checked == (len(set_sizes) * (2 if associativity > 1 else 1))
+
+
+class TestExactnessOnSyntheticPatterns:
+    @pytest.mark.parametrize("associativity", [1, 2, 4, 8])
+    def test_random_addresses(self, associativity, small_random_addresses):
+        assert_exact(small_random_addresses, block_size=4, associativity=associativity)
+
+    @pytest.mark.parametrize("block_size", [1, 4, 16, 64])
+    def test_block_sizes(self, block_size, small_random_addresses):
+        assert_exact(small_random_addresses, block_size=block_size, associativity=4)
+
+    def test_sequential_stream(self):
+        trace = SequentialStream(stride=4).generate(1500, seed=1)
+        assert_exact(trace, block_size=16, associativity=2)
+
+    def test_strided_loop(self):
+        trace = StridedLoop(array_bytes=2048, stride=8).generate(1500, seed=2)
+        assert_exact(trace, block_size=8, associativity=4)
+
+    def test_working_set(self):
+        trace = WorkingSetGenerator(hot_bytes=1024, cold_bytes=1 << 15).generate(1500, seed=3)
+        assert_exact(trace, block_size=32, associativity=4)
+
+    def test_pointer_chase(self):
+        trace = PointerChase(nodes=512, node_bytes=16).generate(1500, seed=4)
+        assert_exact(trace, block_size=16, associativity=2)
+
+    def test_zipf(self):
+        trace = ZipfGenerator(blocks=256, block_bytes=16).generate(1500, seed=5)
+        assert_exact(trace, block_size=4, associativity=8)
+
+    def test_uniform_random_generator(self):
+        trace = RandomUniform(region_bytes=1 << 14).generate(1500, seed=6)
+        assert_exact(trace, block_size=4, associativity=2)
+
+    def test_mediabench_model(self):
+        trace = mediabench_trace("g721_enc", 1500, seed=7)
+        assert_exact(trace, block_size=16, associativity=4)
+
+
+class TestExactnessEdgeCases:
+    def test_empty_trace(self):
+        assert_exact([], block_size=4, associativity=2)
+
+    def test_single_access(self):
+        assert_exact([12345], block_size=4, associativity=2)
+
+    def test_single_level_tree(self):
+        assert_exact([0, 4, 8, 0, 4, 8], block_size=4, associativity=2, set_sizes=(1,))
+
+    def test_thrash_exactly_at_associativity_boundary(self):
+        # A + 1 blocks cycling through one set is FIFO's pathological case.
+        addresses = [i * 4 for i in range(5)] * 40
+        assert_exact(addresses, block_size=4, associativity=4, set_sizes=(1,))
+
+    def test_repeated_single_block(self):
+        assert_exact([0] * 200, block_size=4, associativity=4)
+
+    def test_adversarial_small_footprint(self):
+        rng = random.Random(99)
+        addresses = [rng.randrange(0, 64) for _ in range(2000)]
+        assert_exact(addresses, block_size=1, associativity=2, set_sizes=(1, 2, 4))
+
+
+class TestExactnessIncludesDirectMapped:
+    """The direct-mapped results DEW produces as a by-product must be exact too."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_direct_mapped_by_product(self, seed):
+        rng = random.Random(seed)
+        addresses = [rng.randrange(0, 2048) for _ in range(800)]
+        simulator = DewSimulator(block_size=4, associativity=4, set_sizes=SET_SIZES)
+        results = simulator.run(addresses)
+        for config in results.configs():
+            if config.associativity != 1:
+                continue
+            reference = SingleConfigSimulator(config)
+            reference.run(addresses)
+            assert reference.stats.misses == results[config].misses, config.label()
+
+
+class TestCountersAreConsistentWithResults:
+    def test_search_hits_plus_shortcuts_equal_hits(self, mixed_trace):
+        simulator = DewSimulator(block_size=16, associativity=4, set_sizes=SET_SIZES)
+        results = simulator.run(mixed_trace)
+        counters = simulator.counters
+        # Total misses across associativity-A levels equals the evaluations
+        # that were decided as misses (everything except hits).
+        total_misses = sum(
+            results[config].misses for config in results.configs() if config.associativity == 4
+        )
+        hits_found = counters.wave_hits + counters.search_hits
+        misses_decided = counters.node_evaluations - counters.mra_hits - hits_found
+        assert misses_decided == total_misses

@@ -1,0 +1,110 @@
+"""Property-based tests: DEW is exact for arbitrary traces and configurations.
+
+These are the strongest correctness tests in the suite: hypothesis explores
+address sequences, block sizes, associativities and tree depths, and every
+single configuration simulated by DEW must agree with an independently coded
+reference FIFO simulator.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.cache.simulator import SingleConfigSimulator
+from repro.core.dew import DewSimulator
+from repro.lru.janapsatya import JanapsatyaSimulator
+from repro.types import INVALID_TAG
+
+ADDRESSES = st.lists(st.integers(min_value=0, max_value=255), min_size=0, max_size=120)
+SMALL_ADDRESSES = st.lists(st.integers(min_value=0, max_value=63), min_size=0, max_size=100)
+
+
+@given(
+    addresses=ADDRESSES,
+    block_size_log2=st.integers(min_value=0, max_value=4),
+    associativity=st.sampled_from([1, 2, 4]),
+    levels=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_dew_matches_reference_for_all_configs(addresses, block_size_log2, associativity, levels):
+    block_size = 1 << block_size_log2
+    set_sizes = tuple(2**i for i in range(levels))
+    dew = DewSimulator(block_size, associativity, set_sizes)
+    results = dew.run(addresses)
+    for config in results.configs():
+        reference = SingleConfigSimulator(config)
+        for address in addresses:
+            reference.access(address)
+        assert reference.stats.misses == results[config].misses, config.label()
+
+
+@given(addresses=SMALL_ADDRESSES, associativity=st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=40, deadline=None)
+def test_dew_counters_partition_evaluations(addresses, associativity):
+    dew = DewSimulator(4, associativity, (1, 2, 4, 8))
+    dew.run(addresses)
+    counters = dew.counters
+    assert (
+        counters.mra_hits + counters.wave_decisions + counters.mre_decisions + counters.searches
+        == counters.node_evaluations
+    )
+    assert counters.node_evaluations <= counters.unoptimised_node_evaluations
+    assert counters.requests == len(addresses)
+
+
+@given(addresses=SMALL_ADDRESSES)
+@settings(max_examples=40, deadline=None)
+def test_dew_miss_counts_bounded_by_accesses(addresses):
+    dew = DewSimulator(4, 2, (1, 2, 4))
+    results = dew.run(addresses)
+    for result in results:
+        assert 0 <= result.misses <= len(addresses)
+        assert result.compulsory_misses <= result.misses
+
+    # Compulsory misses equal the number of distinct blocks touched.
+    distinct_blocks = len({address >> 2 for address in addresses})
+    for result in results:
+        assert result.compulsory_misses == distinct_blocks
+
+
+@given(addresses=SMALL_ADDRESSES)
+@settings(max_examples=40, deadline=None)
+def test_mre_entry_is_never_resident(addresses):
+    dew = DewSimulator(4, 2, (1, 2, 4))
+    for address in addresses:
+        dew.access(address)
+        tree = dew.tree
+        for level in range(tree.num_levels):
+            for set_index in range(tree.set_sizes[level]):
+                mre = tree.mre_tag[level][set_index]
+                if mre != INVALID_TAG:
+                    assert mre not in tree.resident_blocks(level, set_index)
+
+
+@given(addresses=SMALL_ADDRESSES)
+@settings(max_examples=40, deadline=None)
+def test_mra_entry_matches_reference_direct_mapped_content(addresses):
+    """The MRA tag of every evaluated node equals the direct-mapped resident block."""
+    dew = DewSimulator(4, 2, (1, 2, 4))
+    results = dew.run(addresses)
+    for config in results.configs():
+        if config.associativity != 1:
+            continue
+        reference = SingleConfigSimulator(config)
+        for address in addresses:
+            reference.access(address)
+        assert reference.stats.misses == results[config].misses
+
+
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=511), min_size=0, max_size=150),
+    associativities=st.sets(st.sampled_from([1, 2, 4]), min_size=1, max_size=3),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_janapsatya_lru_matches_reference(addresses, associativities):
+    simulator = JanapsatyaSimulator(8, sorted(associativities), (1, 2, 4, 8))
+    results = simulator.run(addresses)
+    for config in results.configs():
+        reference = SingleConfigSimulator(config)
+        for address in addresses:
+            reference.access(address)
+        assert reference.stats.misses == results[config].misses, config.label()

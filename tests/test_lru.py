@@ -1,0 +1,173 @@
+"""Tests for the LRU substrate: stack distances, Janapsatya simulator, CRCB."""
+
+import random
+
+import pytest
+
+from repro.cache.simulator import SingleConfigSimulator
+from repro.core.config import CacheConfig
+from repro.errors import ConfigurationError
+from repro.lru.crcb import CrcbFilter
+from repro.lru.janapsatya import JanapsatyaSimulator, simulate_lru_family
+from repro.lru.stack import StackDistanceEngine, hits_for_associativities, stack_distances
+from repro.trace.trace import Trace
+from repro.types import ReplacementPolicy
+from repro.workloads.synthetic import WorkingSetGenerator
+
+
+class TestStackDistances:
+    def test_first_touch_is_minus_one(self):
+        assert stack_distances([1, 2, 3]) == [-1, -1, -1]
+
+    def test_immediate_reuse_is_zero(self):
+        assert stack_distances([7, 7]) == [-1, 0]
+
+    def test_classic_sequence(self):
+        # a b c b a: b reused over {c} -> 1, a reused over {b, c} -> 2
+        assert stack_distances([1, 2, 3, 2, 1]) == [-1, -1, -1, 1, 2]
+
+    def test_engine_stack_order(self):
+        engine = StackDistanceEngine()
+        for block in [1, 2, 3, 2]:
+            engine.access(block)
+        assert engine.stack() == [2, 3, 1]
+        assert len(engine) == 3
+
+    def test_hits_for_associativities(self):
+        distances = stack_distances([1, 2, 1, 3, 1])
+        hits = hits_for_associativities(distances, [1, 2, 4])
+        # distance sequence: -1, -1, 1, -1, 1
+        assert hits == {1: 0, 2: 2, 4: 2}
+
+    def test_matches_fully_associative_lru_cache(self):
+        rng = random.Random(5)
+        blocks = [rng.randrange(0, 64) for _ in range(500)]
+        distances = stack_distances(blocks)
+        for capacity in (1, 2, 4, 8, 16):
+            expected_hits = sum(1 for d in distances if 0 <= d < capacity)
+            reference = SingleConfigSimulator(CacheConfig(1, capacity, 1, ReplacementPolicy.LRU))
+            for block in blocks:
+                reference.access(block)
+            assert reference.stats.hits == expected_hits
+
+
+class TestJanapsatyaSimulator:
+    SET_SIZES = (1, 2, 4, 8, 16)
+
+    def _reference_misses(self, addresses, config):
+        reference = SingleConfigSimulator(config)
+        for address in addresses:
+            reference.access(address)
+        return reference.stats.misses
+
+    @pytest.mark.parametrize("use_mru_stop", [True, False])
+    @pytest.mark.parametrize("use_crcb_filter", [True, False])
+    def test_exact_against_reference(self, use_mru_stop, use_crcb_filter):
+        rng = random.Random(17)
+        addresses = [rng.randrange(0, 2048) for _ in range(700)]
+        trace = Trace(addresses, name="rand")
+        simulator = JanapsatyaSimulator(
+            block_size=8,
+            associativities=(1, 2, 4),
+            set_sizes=self.SET_SIZES,
+            use_mru_stop=use_mru_stop,
+            use_crcb_filter=use_crcb_filter,
+        )
+        results = simulator.run(trace)
+        for config in results.configs():
+            assert config.policy is ReplacementPolicy.LRU
+            assert results[config].misses == self._reference_misses(addresses, config), config.label()
+            assert results[config].accesses == len(addresses)
+
+    def test_structured_trace_exact(self):
+        trace = WorkingSetGenerator(hot_bytes=512, cold_bytes=8192).generate(800, seed=3)
+        results = simulate_lru_family(trace, block_size=16, associativities=(1, 2, 4, 8),
+                                      set_sizes=self.SET_SIZES)
+        for config in results.configs():
+            assert results[config].misses == self._reference_misses(trace.address_list(), config)
+
+    def test_mru_stop_reduces_evaluations(self):
+        trace = WorkingSetGenerator(hot_bytes=256, cold_bytes=4096).generate(800, seed=4)
+        fast = JanapsatyaSimulator(8, (2,), self.SET_SIZES, use_mru_stop=True)
+        fast.run(trace)
+        slow = JanapsatyaSimulator(8, (2,), self.SET_SIZES, use_mru_stop=False)
+        slow.run(trace)
+        assert fast.counters.mru_stops > 0
+        assert fast.counters.node_evaluations < slow.counters.node_evaluations
+
+    def test_inclusion_property_of_results(self):
+        # LRU hit counts must be monotone in both set size and associativity.
+        rng = random.Random(23)
+        addresses = [rng.randrange(0, 4096) for _ in range(600)]
+        results = simulate_lru_family(addresses, block_size=4, associativities=(1, 2, 4),
+                                      set_sizes=self.SET_SIZES)
+        for config in results.configs():
+            double_sets = CacheConfig(config.num_sets * 2, config.associativity,
+                                      config.block_size, ReplacementPolicy.LRU)
+            if double_sets in results:
+                assert results[double_sets].misses <= results[config].misses
+            double_ways = CacheConfig(config.num_sets, config.associativity * 2,
+                                      config.block_size, ReplacementPolicy.LRU)
+            if double_ways in results:
+                assert results[double_ways].misses <= results[config].misses
+
+    def test_reset(self):
+        simulator = JanapsatyaSimulator(4, (2,), (1, 2))
+        simulator.run([0, 4, 8, 0])
+        simulator.reset()
+        assert simulator.counters.requests == 0
+        results = simulator.run([0, 4])
+        assert results[CacheConfig(1, 2, 4, ReplacementPolicy.LRU)].misses == 2
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            JanapsatyaSimulator(3, (2,), (1, 2))
+        with pytest.raises(ConfigurationError):
+            JanapsatyaSimulator(4, (), (1, 2))
+        with pytest.raises(ConfigurationError):
+            JanapsatyaSimulator(4, (2,), (1, 4))
+        with pytest.raises(ConfigurationError):
+            JanapsatyaSimulator(4, (0,), (1, 2))
+
+
+class TestCrcbFilter:
+    def test_statistics_and_apply(self):
+        trace = Trace([0, 1, 2, 3, 64, 65, 0], name="t")
+        crcb = CrcbFilter(block_size=64)
+        stats = crcb.statistics(trace)
+        assert stats.trace_length == 7
+        assert stats.prunable_consecutive == 4  # 1,2,3 follow 0; 65 follows 64
+        assert stats.pruned_fraction == pytest.approx(4 / 7)
+        filtered, pruned = crcb.apply(trace)
+        assert pruned == 4
+        assert filtered.addresses.tolist() == [0, 64, 0]
+
+    def test_short_traces_untouched(self):
+        trace = Trace([5])
+        filtered, pruned = CrcbFilter(16).apply(trace)
+        assert pruned == 0
+        assert filtered is trace
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ConfigurationError):
+            CrcbFilter(10)
+
+    def test_pruned_accesses_are_universal_hits(self):
+        # Filtering plus "add pruned back as hits" must match unfiltered
+        # simulation for any cache with block size >= the filter block size.
+        rng = random.Random(9)
+        addresses = []
+        base = 0
+        for _ in range(300):
+            base = rng.randrange(0, 1024) * 4
+            addresses.extend([base] * rng.randint(1, 3))
+        trace = Trace(addresses, name="bursty")
+        crcb = CrcbFilter(block_size=4)
+        filtered, pruned = crcb.apply(trace)
+        config = CacheConfig(8, 2, 16, ReplacementPolicy.FIFO)
+        full = SingleConfigSimulator(config)
+        full.run(trace)
+        reduced = SingleConfigSimulator(config)
+        reduced.run(filtered)
+        assert reduced.stats.misses == full.stats.misses
+        assert reduced.stats.hits + pruned == full.stats.hits

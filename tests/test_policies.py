@@ -1,0 +1,137 @@
+"""Tests for the replacement-policy models."""
+
+import pytest
+
+from repro.cache.policies import (
+    FifoPolicy,
+    LruPolicy,
+    PlruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.errors import SimulationError
+from repro.types import ReplacementPolicy
+
+
+class TestFifoPolicy:
+    def test_round_robin_victims(self):
+        policy = FifoPolicy(4)
+        victims = []
+        for _ in range(6):
+            victim = policy.choose_victim([True] * 4)
+            victims.append(victim)
+            policy.note_insert(victim)
+        assert victims == [0, 1, 2, 3, 0, 1]
+
+    def test_hits_do_not_move_pointer(self):
+        policy = FifoPolicy(4)
+        policy.note_insert(policy.choose_victim([False] * 4))
+        policy.note_hit(3)
+        policy.note_hit(0)
+        assert policy.choose_victim([True] * 4) == 1
+
+    def test_insert_must_match_victim(self):
+        policy = FifoPolicy(4)
+        with pytest.raises(SimulationError):
+            policy.note_insert(2)
+
+    def test_reset(self):
+        policy = FifoPolicy(2)
+        policy.note_insert(0)
+        policy.reset()
+        assert policy.choose_victim([True, True]) == 0
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(SimulationError):
+            FifoPolicy(0)
+
+
+class TestLruPolicy:
+    def test_prefers_empty_ways(self):
+        policy = LruPolicy(4)
+        assert policy.choose_victim([True, False, True, True]) == 1
+
+    def test_evicts_least_recently_used(self):
+        policy = LruPolicy(3)
+        for way in range(3):
+            policy.note_insert(way)
+        policy.note_hit(0)          # order (MRU->LRU): 0, 2, 1
+        assert policy.choose_victim([True] * 3) == 1
+
+    def test_reset(self):
+        policy = LruPolicy(2)
+        policy.note_hit(1)
+        policy.reset()
+        assert policy.choose_victim([True, True]) == 1  # initial order: 0 MRU, 1 LRU
+
+
+class TestRandomPolicy:
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(4, seed=5)
+        b = RandomPolicy(4, seed=5)
+        occupied = [True] * 4
+        assert [a.choose_victim(occupied) for _ in range(10)] == [
+            b.choose_victim(occupied) for _ in range(10)
+        ]
+
+    def test_prefers_empty_ways(self):
+        policy = RandomPolicy(4, seed=1)
+        assert policy.choose_victim([True, True, False, True]) == 2
+
+    def test_reset_restores_stream(self):
+        policy = RandomPolicy(4, seed=9)
+        occupied = [True] * 4
+        first = [policy.choose_victim(occupied) for _ in range(5)]
+        policy.reset()
+        assert [policy.choose_victim(occupied) for _ in range(5)] == first
+
+
+class TestPlruPolicy:
+    def test_requires_power_of_two(self):
+        with pytest.raises(SimulationError):
+            PlruPolicy(3)
+
+    def test_prefers_empty_ways(self):
+        policy = PlruPolicy(4)
+        assert policy.choose_victim([True, False, True, True]) == 1
+
+    def test_victim_avoids_recently_touched_half(self):
+        policy = PlruPolicy(4)
+        for way in range(4):
+            policy.note_insert(way)
+        policy.note_hit(0)
+        policy.note_hit(1)
+        # Both recent touches were in the left half, so the victim must be
+        # in the right half.
+        assert policy.choose_victim([True] * 4) in (2, 3)
+
+    def test_single_way(self):
+        policy = PlruPolicy(1)
+        policy.note_insert(0)
+        assert policy.choose_victim([True]) == 0
+
+    def test_reset(self):
+        policy = PlruPolicy(4)
+        for way in range(4):
+            policy.note_insert(way)
+        policy.note_hit(3)
+        policy.reset()
+        fresh = PlruPolicy(4)
+        assert policy.choose_victim([True] * 4) == fresh.choose_victim([True] * 4)
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "policy,expected_type",
+        [
+            (ReplacementPolicy.FIFO, FifoPolicy),
+            (ReplacementPolicy.LRU, LruPolicy),
+            (ReplacementPolicy.RANDOM, RandomPolicy),
+            (ReplacementPolicy.PLRU, PlruPolicy),
+        ],
+    )
+    def test_factory(self, policy, expected_type):
+        assert isinstance(make_policy(policy, 4), expected_type)
+
+    def test_factory_accepts_strings(self):
+        assert isinstance(make_policy("lru", 2), LruPolicy)

@@ -1,0 +1,77 @@
+"""Tests for the executable DEW property statements (Section 3.2)."""
+
+import random
+
+import pytest
+
+from repro.core.properties import (
+    check_all_properties,
+    check_property1_path,
+    check_property2_mra,
+    check_property3_wave,
+    check_property4_mre,
+)
+from repro.core.dew import DewSimulator
+from repro.workloads.synthetic import StridedLoop, WorkingSetGenerator
+
+
+def _random_addresses(seed, count=300, span=512):
+    rng = random.Random(seed)
+    return [rng.randrange(0, span) for _ in range(count)]
+
+
+class TestIndividualProperties:
+    def test_property1_path_structure(self):
+        simulator = DewSimulator(4, 2, (1, 2, 4, 8))
+        report = check_property1_path(simulator, _random_addresses(0))
+        assert report.holds
+        assert report.checked == 300 * 4
+
+    def test_property2_mra_implies_hit_below(self):
+        def factory():
+            return DewSimulator(4, 2, (1, 2, 4, 8))
+
+        report = check_property2_mra(factory, _random_addresses(1))
+        assert report.holds
+        assert report.checked > 0
+
+    def test_property3_wave_pointer_decides(self):
+        def factory():
+            return DewSimulator(4, 2, (1, 2, 4, 8))
+
+        report = check_property3_wave(factory, _random_addresses(2, count=200))
+        assert report.holds
+        assert report.checked > 0
+
+    def test_property4_mre_implies_miss(self):
+        def factory():
+            return DewSimulator(4, 2, (1, 2, 4))
+
+        report = check_property4_mre(factory, _random_addresses(3, count=200, span=128))
+        assert report.holds
+        assert report.checked > 0
+
+
+class TestCheckAllProperties:
+    def test_on_random_trace(self):
+        reports = check_all_properties(_random_addresses(4, count=200), block_size=4,
+                                       associativity=2, set_sizes=(1, 2, 4, 8))
+        assert len(reports) == 4
+        assert all(report.holds for report in reports), [r.name for r in reports if not r.holds]
+
+    def test_on_loop_trace(self):
+        addresses = StridedLoop(array_bytes=256, stride=4).generate(400, seed=1).address_list()
+        reports = check_all_properties(addresses, block_size=8, associativity=4, set_sizes=(1, 2, 4))
+        assert all(report.holds for report in reports)
+
+    def test_on_working_set_trace(self):
+        addresses = WorkingSetGenerator(hot_bytes=512, cold_bytes=4096).generate(
+            400, seed=2
+        ).address_list()
+        reports = check_all_properties(addresses, block_size=16, associativity=2,
+                                       set_sizes=(1, 2, 4, 8))
+        assert all(report.holds for report in reports)
+
+    def test_report_bool_protocol(self):
+        reports = check_all_properties(_random_addresses(5, count=50), set_sizes=(1, 2))
+        assert all(bool(report) for report in reports)

@@ -1,0 +1,96 @@
+"""Tests for the .din and text trace formats."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.din import read_din, write_din
+from repro.trace.textio import read_text_trace, write_text_trace
+from repro.trace.trace import Trace
+from repro.types import AccessType
+
+
+def _sample_trace() -> Trace:
+    return Trace([0x100, 0x104, 0x2000], [0, 1, 2], [4, 4, 4], name="sample")
+
+
+class TestDinFormat:
+    def test_round_trip_via_path(self, tmp_path):
+        path = tmp_path / "trace.din"
+        original = _sample_trace()
+        write_din(original, path)
+        loaded = read_din(path)
+        assert loaded.addresses.tolist() == original.addresses.tolist()
+        assert loaded.access_types.tolist() == original.access_types.tolist()
+        assert loaded.name == "trace"
+
+    def test_round_trip_via_stream(self):
+        buffer = io.StringIO()
+        write_din(_sample_trace(), buffer)
+        buffer.seek(0)
+        loaded = read_din(buffer)
+        assert loaded.addresses.tolist() == [0x100, 0x104, 0x2000]
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\n0 10\n2 20\n"
+        loaded = read_din(io.StringIO(text))
+        assert loaded.addresses.tolist() == [0x10, 0x20]
+        assert loaded.access_types.tolist() == [int(AccessType.READ), int(AccessType.INSTR_FETCH)]
+
+    def test_letter_labels_accepted(self):
+        loaded = read_din(io.StringIO("r 10\nw 14\ni 18\n"))
+        assert loaded.access_types.tolist() == [0, 1, 2]
+
+    def test_bad_label_raises(self):
+        with pytest.raises(TraceFormatError):
+            read_din(io.StringIO("x 10\n"))
+
+    def test_bad_address_raises(self):
+        with pytest.raises(TraceFormatError):
+            read_din(io.StringIO("0 zz\n"))
+
+    def test_missing_field_raises(self):
+        with pytest.raises(TraceFormatError):
+            read_din(io.StringIO("0\n"))
+
+
+class TestTextFormats:
+    def test_csv_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        original = _sample_trace()
+        write_text_trace(original, path, fmt="csv")
+        loaded = read_text_trace(path)
+        assert loaded.addresses.tolist() == original.addresses.tolist()
+        assert loaded.access_types.tolist() == original.access_types.tolist()
+
+    def test_hex_round_trip(self, tmp_path):
+        path = tmp_path / "trace.hex"
+        write_text_trace(_sample_trace(), path, fmt="hex")
+        loaded = read_text_trace(path)
+        assert loaded.addresses.tolist() == [0x100, 0x104, 0x2000]
+        # hex format carries no type information: everything is a read
+        assert set(loaded.access_types.tolist()) == {int(AccessType.READ)}
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_text_trace(_sample_trace(), tmp_path / "x", fmt="json")
+
+    def test_empty_input(self):
+        assert len(read_text_trace(io.StringIO(""))) == 0
+
+    def test_bad_hex_raises(self):
+        with pytest.raises(TraceFormatError):
+            read_text_trace(io.StringIO("nothex\n"))
+
+    def test_csv_requires_address_column(self):
+        with pytest.raises(TraceFormatError):
+            read_text_trace(io.StringIO("foo,bar\n1,2\n"))
+
+    def test_csv_bad_type_raises(self):
+        with pytest.raises(TraceFormatError):
+            read_text_trace(io.StringIO("address,type,size\n0x10,zz,4\n"))
+
+    def test_csv_bad_size_raises(self):
+        with pytest.raises(TraceFormatError):
+            read_text_trace(io.StringIO("address,type,size\n0x10,r,big\n"))

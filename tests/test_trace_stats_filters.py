@@ -1,0 +1,86 @@
+"""Tests for trace statistics and filters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.filters import filter_by_type, split_instruction_data, unique_block_trace, window
+from repro.trace.stats import compute_trace_statistics, reuse_distances
+from repro.trace.trace import Trace
+from repro.types import AccessType
+
+
+class TestReuseDistances:
+    def test_first_touches_are_minus_one(self):
+        assert reuse_distances(np.array([1, 2, 3])) == [-1, -1, -1]
+
+    def test_simple_reuse(self):
+        # 1 2 1 -> when 1 is reused, one distinct block (2) intervened.
+        assert reuse_distances(np.array([1, 2, 1])) == [-1, -1, 1]
+
+    def test_immediate_reuse_distance_zero(self):
+        assert reuse_distances(np.array([5, 5, 5])) == [-1, 0, 0]
+
+
+class TestTraceStatistics:
+    def test_basic_fields(self):
+        trace = Trace([0, 0, 64, 128, 0], [0, 1, 0, 2, 0], name="t")
+        stats = compute_trace_statistics(trace, block_size=32)
+        assert stats.length == 5
+        assert stats.unique_blocks == 3
+        assert stats.block_size == 32
+        assert 0 < stats.repeat_block_fraction < 1
+        assert stats.read_fraction == pytest.approx(3 / 5)
+        assert stats.write_fraction == pytest.approx(1 / 5)
+        assert stats.ifetch_fraction == pytest.approx(1 / 5)
+        assert stats.address_span == 128
+
+    def test_empty_trace(self):
+        stats = compute_trace_statistics(Trace.empty(), block_size=16)
+        assert stats.length == 0
+        assert stats.unique_blocks == 0
+        assert stats.mean_reuse_distance == 0.0
+
+    def test_as_dict_keys(self):
+        stats = compute_trace_statistics(Trace([0, 4, 8]), block_size=4)
+        data = stats.as_dict()
+        assert data["length"] == 3
+        assert "mean_reuse_distance" in data
+
+
+class TestFilters:
+    def test_filter_by_type(self):
+        trace = Trace([0, 4, 8], [0, 1, 2])
+        writes = filter_by_type(trace, [AccessType.WRITE])
+        assert writes.addresses.tolist() == [4]
+
+    def test_filter_by_type_requires_types(self):
+        with pytest.raises(TraceError):
+            filter_by_type(Trace([0]), [])
+
+    def test_split_instruction_data(self):
+        trace = Trace([0, 4, 8, 12], [2, 0, 2, 1])
+        instruction, data = split_instruction_data(trace)
+        assert instruction.addresses.tolist() == [0, 8]
+        assert data.addresses.tolist() == [4, 12]
+        assert instruction.name.endswith(".I")
+        assert data.name.endswith(".D")
+
+    def test_window(self):
+        trace = Trace(list(range(10)))
+        piece = window(trace, 3, 4)
+        assert piece.addresses.tolist() == [3, 4, 5, 6]
+
+    def test_window_rejects_negative(self):
+        with pytest.raises(TraceError):
+            window(Trace([0]), -1, 2)
+
+    def test_unique_block_trace(self):
+        trace = Trace([0, 4, 8, 64, 68, 0])
+        filtered = unique_block_trace(trace, 64)
+        # 0,4,8 share block 0; 64,68 share block 1; final 0 is a new run.
+        assert filtered.addresses.tolist() == [0, 64, 0]
+
+    def test_unique_block_trace_empty(self):
+        trace = Trace.empty()
+        assert len(unique_block_trace(trace, 16)) == 0

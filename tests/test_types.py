@@ -1,0 +1,72 @@
+"""Tests for repro.types."""
+
+import pytest
+
+from repro.types import (
+    AccessType,
+    ReplacementPolicy,
+    is_power_of_two,
+    log2_exact,
+)
+
+
+class TestAccessType:
+    def test_from_symbol_letters(self):
+        assert AccessType.from_symbol("r") is AccessType.READ
+        assert AccessType.from_symbol("w") is AccessType.WRITE
+        assert AccessType.from_symbol("i") is AccessType.INSTR_FETCH
+
+    def test_from_symbol_digits_and_words(self):
+        assert AccessType.from_symbol("0") is AccessType.READ
+        assert AccessType.from_symbol("1") is AccessType.WRITE
+        assert AccessType.from_symbol("2") is AccessType.INSTR_FETCH
+        assert AccessType.from_symbol("read") is AccessType.READ
+        assert AccessType.from_symbol("ifetch") is AccessType.INSTR_FETCH
+
+    def test_from_symbol_integer(self):
+        assert AccessType.from_symbol(1) is AccessType.WRITE
+
+    def test_from_symbol_case_insensitive(self):
+        assert AccessType.from_symbol(" R ") is AccessType.READ
+
+    def test_from_symbol_invalid(self):
+        with pytest.raises(ValueError):
+            AccessType.from_symbol("x")
+
+    def test_symbol_round_trip(self):
+        for access_type in AccessType:
+            assert AccessType.from_symbol(access_type.symbol) is access_type
+
+
+class TestReplacementPolicy:
+    def test_parse_enum_passthrough(self):
+        assert ReplacementPolicy.parse(ReplacementPolicy.FIFO) is ReplacementPolicy.FIFO
+
+    def test_parse_names_and_values(self):
+        assert ReplacementPolicy.parse("fifo") is ReplacementPolicy.FIFO
+        assert ReplacementPolicy.parse("LRU") is ReplacementPolicy.LRU
+        assert ReplacementPolicy.parse("Random") is ReplacementPolicy.RANDOM
+        assert ReplacementPolicy.parse("plru") is ReplacementPolicy.PLRU
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            ReplacementPolicy.parse("mru")
+
+
+class TestPowerOfTwoHelpers:
+    @pytest.mark.parametrize("value", [1, 2, 4, 8, 1024, 1 << 20])
+    def test_is_power_of_two_true(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -1, -2, 3, 6, 7, 12, 1000])
+    def test_is_power_of_two_false(self, value):
+        assert not is_power_of_two(value)
+
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (4, 2), (1024, 10)])
+    def test_log2_exact(self, value, expected):
+        assert log2_exact(value) == expected
+
+    @pytest.mark.parametrize("value", [0, 3, -4])
+    def test_log2_exact_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            log2_exact(value)

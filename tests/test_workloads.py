@@ -1,0 +1,231 @@
+"""Tests for the workload generators (synthetic, mixes and Mediabench models)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.trace import Trace
+from repro.types import AccessType
+from repro.workloads.base import WorkloadGenerator
+from repro.workloads.mediabench import (
+    MEDIABENCH_APPS,
+    PAPER_REQUEST_COUNTS,
+    mediabench_generator,
+    mediabench_trace,
+    scaled_request_count,
+)
+from repro.workloads.mixes import InterleavedWorkload, PhasedWorkload
+from repro.workloads.synthetic import (
+    BlockedMatrixWalk,
+    InstructionLoop,
+    PointerChase,
+    RandomUniform,
+    ReadModifyWrite,
+    SequentialStream,
+    StridedLoop,
+    WorkingSetGenerator,
+    ZipfGenerator,
+)
+
+ALL_GENERATORS = [
+    SequentialStream(),
+    StridedLoop(),
+    RandomUniform(),
+    WorkingSetGenerator(),
+    PointerChase(),
+    ZipfGenerator(),
+    BlockedMatrixWalk(),
+    InstructionLoop(),
+    ReadModifyWrite(StridedLoop()),
+]
+
+
+class TestGeneratorContract:
+    @pytest.mark.parametrize("generator", ALL_GENERATORS, ids=lambda g: g.name)
+    def test_length_and_nonnegative(self, generator):
+        trace = generator.generate(500, seed=1)
+        assert isinstance(trace, Trace)
+        assert len(trace) == 500
+        assert int(trace.addresses.min()) >= 0
+
+    @pytest.mark.parametrize("generator", ALL_GENERATORS, ids=lambda g: g.name)
+    def test_deterministic(self, generator):
+        assert generator.generate(200, seed=42) == generator.generate(200, seed=42)
+
+    @pytest.mark.parametrize("generator", ALL_GENERATORS, ids=lambda g: g.name)
+    def test_zero_requests(self, generator):
+        assert len(generator.generate(0)) == 0
+
+    def test_negative_requests_rejected(self):
+        with pytest.raises(WorkloadError):
+            SequentialStream().generate(-1)
+
+    def test_spec_describes_parameters(self):
+        spec = StridedLoop(array_bytes=2048, stride=8).spec()
+        assert spec.name == "strided-loop"
+        assert "array_bytes=2048" in spec.describe()
+
+    def test_base_class_requires_subclass_hook(self):
+        with pytest.raises(NotImplementedError):
+            WorkloadGenerator().generate(3)
+
+
+class TestSyntheticBehaviours:
+    def test_sequential_is_monotone(self):
+        trace = SequentialStream(base=100, stride=4).generate(50)
+        differences = np.diff(trace.addresses)
+        assert (differences == 4).all()
+
+    def test_sequential_wraps_in_region(self):
+        trace = SequentialStream(stride=4, region_bytes=16).generate(10)
+        assert int(trace.addresses.max()) < 16
+
+    def test_strided_loop_footprint(self):
+        trace = StridedLoop(base=0, array_bytes=64, stride=4).generate(200)
+        assert int(trace.addresses.max()) < 64
+        assert trace.unique_blocks(4) == 16
+
+    def test_random_uniform_respects_bounds_and_alignment(self):
+        trace = RandomUniform(base=1000, region_bytes=256, align=8).generate(300, seed=2)
+        assert int(trace.addresses.min()) >= 1000
+        assert int(trace.addresses.max()) < 1000 + 256
+        assert (np.asarray(trace.addresses) % 8 == (1000 % 8)).all()
+
+    def test_working_set_hot_fraction(self):
+        generator = WorkingSetGenerator(hot_bytes=256, cold_bytes=1 << 16, hot_fraction=0.9, align=4)
+        trace = generator.generate(2000, seed=3)
+        hot_accesses = int(np.count_nonzero(trace.addresses < 256))
+        assert 0.85 <= hot_accesses / 2000 <= 0.95
+
+    def test_pointer_chase_covers_all_nodes(self):
+        trace = PointerChase(nodes=32, node_bytes=16).generate(64, seed=4)
+        assert trace.unique_blocks(16) == 32
+
+    def test_zipf_concentrates_on_few_blocks(self):
+        trace = ZipfGenerator(blocks=1024, block_bytes=16, exponent=1.4).generate(3000, seed=5)
+        blocks, counts = np.unique(trace.block_addresses(16), return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / 3000
+        assert top_share > 0.3
+
+    def test_blocked_matrix_walk_tile_locality(self):
+        generator = BlockedMatrixWalk(rows=16, cols=16, tile=8, element_bytes=4, tile_passes=2)
+        trace = generator.generate(8 * 8 * 2)
+        # The first 64 accesses and the next 64 revisit the same tile.
+        first = trace.addresses[:64]
+        second = trace.addresses[64:128]
+        assert np.array_equal(first, second)
+
+    def test_instruction_loop_types_are_fetches(self):
+        trace = InstructionLoop().generate(200, seed=6)
+        assert set(trace.access_types.tolist()) == {int(AccessType.INSTR_FETCH)}
+
+    def test_read_modify_write_repeats(self):
+        trace = ReadModifyWrite(RandomUniform(region_bytes=1 << 16), repeat_probability=0.5).generate(
+            1000, seed=7
+        )
+        repeats = int(np.count_nonzero(trace.addresses[1:] == trace.addresses[:-1]))
+        assert repeats > 150
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: SequentialStream(stride=0),
+            lambda: StridedLoop(array_bytes=0),
+            lambda: RandomUniform(region_bytes=0),
+            lambda: WorkingSetGenerator(hot_fraction=1.5),
+            lambda: PointerChase(nodes=0),
+            lambda: ZipfGenerator(exponent=0),
+            lambda: BlockedMatrixWalk(tile=32, rows=16, cols=16),
+            lambda: InstructionLoop(call_probability=2.0),
+            lambda: ReadModifyWrite(StridedLoop(), repeat_probability=-0.1),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, factory):
+        with pytest.raises(WorkloadError):
+            factory()
+
+
+class TestMixes:
+    def test_phased_lengths(self):
+        workload = PhasedWorkload([(SequentialStream(), 1.0), (RandomUniform(), 3.0)])
+        trace = workload.generate(400, seed=1)
+        assert len(trace) == 400
+
+    def test_phased_requires_phases(self):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload([])
+
+    def test_phased_rejects_non_positive_weight(self):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload([(SequentialStream(), 0.0)])
+
+    def test_interleaved_preserves_stream_order(self):
+        workload = InterleavedWorkload(
+            [SequentialStream(base=0, stride=4), SequentialStream(base=1 << 20, stride=4)]
+        )
+        trace = workload.generate(500, seed=2)
+        low = [a for a in trace.addresses.tolist() if a < (1 << 20)]
+        high = [a for a in trace.addresses.tolist() if a >= (1 << 20)]
+        assert low == sorted(low)
+        assert high == sorted(high)
+        assert len(low) + len(high) == 500
+
+    def test_interleaved_weight_validation(self):
+        with pytest.raises(WorkloadError):
+            InterleavedWorkload([SequentialStream()], weights=[1.0, 2.0])
+        with pytest.raises(WorkloadError):
+            InterleavedWorkload([SequentialStream()], weights=[0.0])
+        with pytest.raises(WorkloadError):
+            InterleavedWorkload([])
+
+    def test_mixes_deterministic(self):
+        workload = InterleavedWorkload([SequentialStream(), RandomUniform()], weights=[1, 1])
+        assert workload.generate(300, seed=9) == workload.generate(300, seed=9)
+
+    def test_zero_requests(self):
+        assert len(PhasedWorkload([(SequentialStream(), 1.0)]).generate(0)) == 0
+        assert len(InterleavedWorkload([SequentialStream()]).generate(0)) == 0
+
+
+class TestMediabenchModels:
+    def test_six_apps_in_paper_order(self):
+        assert [app.name for app in MEDIABENCH_APPS] == [
+            "cjpeg", "djpeg", "g721_enc", "g721_dec", "mpeg2_enc", "mpeg2_dec",
+        ]
+        assert all(app.paper_requests == PAPER_REQUEST_COUNTS[app.name] for app in MEDIABENCH_APPS)
+
+    @pytest.mark.parametrize("app", sorted(PAPER_REQUEST_COUNTS))
+    def test_generator_and_trace(self, app):
+        trace = mediabench_trace(app, 1500, seed=1)
+        assert len(trace) == 1500
+        assert trace.name == app
+        # deterministic
+        assert trace == mediabench_trace(app, 1500, seed=1)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(WorkloadError):
+            mediabench_generator("quake3")
+        with pytest.raises(WorkloadError):
+            scaled_request_count("quake3", 1000)
+
+    def test_scaled_request_counts_preserve_ordering(self):
+        scaled = {app: scaled_request_count(app, 100_000) for app in PAPER_REQUEST_COUNTS}
+        assert scaled["mpeg2_enc"] == 100_000
+        assert scaled["mpeg2_enc"] > scaled["mpeg2_dec"] > scaled["g721_enc"] > scaled["cjpeg"]
+        assert all(count >= 1000 for count in scaled.values())
+
+    def test_scaled_request_count_validation(self):
+        with pytest.raises(WorkloadError):
+            scaled_request_count("cjpeg", 0)
+
+    def test_descriptor_generator(self):
+        app = MEDIABENCH_APPS[0]
+        trace = app.generator(seed=2).generate(500, seed=2)
+        assert len(trace) == 500
+
+    def test_models_have_distinct_locality(self):
+        # G721 (tiny working set) must show far fewer unique blocks than
+        # MPEG2 encode (large working set) for equal-length traces.
+        g721 = mediabench_trace("g721_enc", 4000, seed=5)
+        mpeg2 = mediabench_trace("mpeg2_enc", 4000, seed=5)
+        assert g721.unique_blocks(32) * 3 < mpeg2.unique_blocks(32)
