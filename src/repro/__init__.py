@@ -13,6 +13,9 @@ inventory):
 * :mod:`repro.trace` — trace containers, file formats, statistics, filters.
 * :mod:`repro.workloads` — synthetic Mediabench-style workload generators.
 * :mod:`repro.explore` — energy model, Pareto fronts and cache tuning.
+* :mod:`repro.engine` — the uniform engine layer: every simulator behind one
+  ``run_blocks``/``finalize`` protocol, a string-keyed registry
+  (``get_engine("dew", ...)``) and a process-parallel sweep orchestrator.
 * :mod:`repro.bench` — the harness regenerating the paper's tables/figures.
 * :mod:`repro.verify` — exact-match cross-checking between simulators.
 
@@ -35,6 +38,16 @@ from repro.core.tree import DewTree
 from repro.cache.dinero import DineroRunResult, DineroStyleRunner
 from repro.cache.simulator import SingleConfigSimulator, simulate_trace
 from repro.cache.stats import CacheStats
+from repro.engine import (
+    Engine,
+    SweepJob,
+    SweepOutcome,
+    available_engines,
+    build_grid_jobs,
+    get_engine,
+    register_engine,
+    run_sweep,
+)
 from repro.lru.janapsatya import JanapsatyaSimulator, simulate_lru_family
 from repro.trace.trace import Trace, TraceBuilder
 from repro.trace.din import read_din, write_din
@@ -58,6 +71,14 @@ __all__ = [
     "SingleConfigSimulator",
     "simulate_trace",
     "CacheStats",
+    "Engine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "SweepJob",
+    "SweepOutcome",
+    "build_grid_jobs",
+    "run_sweep",
     "JanapsatyaSimulator",
     "simulate_lru_family",
     "Trace",

@@ -14,6 +14,7 @@ Trace lengths are scaled down from the paper's multi-million-request traces
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
@@ -22,8 +23,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.cache.dinero import DineroStyleRunner
 from repro.core.config import CacheConfig
 from repro.core.counters import DewCounters
-from repro.core.dew import DewSimulator
 from repro.core.results import SimulationResults
+from repro.engine import get_engine
 from repro.errors import VerificationError
 from repro.trace.trace import Trace
 from repro.types import ReplacementPolicy
@@ -130,6 +131,21 @@ class PropertyCell:
         return row
 
 
+# Worker-side runner installed by the pool initializer: the (trace-bearing)
+# runner is pickled once per worker rather than once per cell.
+_TABLE3_RUNNER: Optional["ExperimentRunner"] = None
+
+
+def _table3_worker_init(runner: "ExperimentRunner") -> None:
+    global _TABLE3_RUNNER
+    _TABLE3_RUNNER = runner
+
+
+def _table3_worker_cell(params: Tuple[str, int, int]) -> "ExperimentCell":
+    assert _TABLE3_RUNNER is not None
+    return _TABLE3_RUNNER.run_cell(*params)
+
+
 class ExperimentRunner:
     """Drive DEW and the Dinero-style baseline over the modelled workloads.
 
@@ -150,6 +166,9 @@ class ExperimentRunner:
     verify:
         Cross-check DEW against the baseline on every cell (recommended; the
         cost is already dominated by the baseline itself).
+    workers:
+        Default process count for :meth:`run_table3`; ``1`` keeps the sweep
+        serial and in-process.
     """
 
     def __init__(
@@ -162,6 +181,7 @@ class ExperimentRunner:
         proportional_lengths: bool = True,
         seed: int = 2010,
         verify: bool = True,
+        workers: int = 1,
     ) -> None:
         self.apps = list(apps) if apps is not None else [app.name for app in MEDIABENCH_APPS]
         self.block_sizes = tuple(block_sizes)
@@ -171,6 +191,7 @@ class ExperimentRunner:
         self.proportional_lengths = proportional_lengths
         self.seed = seed
         self.verify = verify
+        self.workers = workers
         self._traces: Dict[str, Trace] = {}
 
     # -- workload handling ------------------------------------------------------
@@ -197,7 +218,12 @@ class ExperimentRunner:
         """Run DEW and the baseline for one Table 3 cell and compare them."""
         trace = self.trace_for(app)
 
-        dew = DewSimulator(block_size, associativity, self.set_sizes)
+        dew = get_engine(
+            "dew",
+            block_size=block_size,
+            associativity=associativity,
+            set_sizes=self.set_sizes,
+        )
         dew_start = time.perf_counter()
         dew_results = dew.run(trace)
         dew_seconds = time.perf_counter() - dew_start
@@ -246,14 +272,34 @@ class ExperimentRunner:
 
     # -- full sweeps ------------------------------------------------------------
 
-    def run_table3(self) -> List[ExperimentCell]:
-        """All (app, block size, associativity) cells of Table 3."""
-        cells = []
-        for app in self.apps:
-            for block_size in self.block_sizes:
-                for associativity in self.associativities:
-                    cells.append(self.run_cell(app, block_size, associativity))
-        return cells
+    def run_table3(self, workers: Optional[int] = None) -> List[ExperimentCell]:
+        """All (app, block size, associativity) cells of Table 3.
+
+        With ``workers > 1`` the cells are fanned out over a process pool;
+        each cell still runs (and times) both simulators inside one process,
+        so per-cell speedup numbers keep their meaning.  Cell order — and,
+        because traces are generated from fixed seeds, cell content — is
+        identical to the serial sweep.
+        """
+        cell_params = [
+            (app, block_size, associativity)
+            for app in self.apps
+            for block_size in self.block_sizes
+            for associativity in self.associativities
+        ]
+        workers = self.workers if workers is None else workers
+        if workers <= 1 or len(cell_params) <= 1:
+            return [self.run_cell(*params) for params in cell_params]
+        # Generate every trace up front so workers inherit them with the
+        # runner instead of regenerating one per cell.
+        self.traces()
+        context = multiprocessing.get_context()
+        with context.Pool(
+            min(workers, len(cell_params)),
+            initializer=_table3_worker_init,
+            initargs=(self,),
+        ) as pool:
+            return pool.map(_table3_worker_cell, cell_params)
 
     def run_table4(
         self,
@@ -267,7 +313,12 @@ class ExperimentRunner:
             per_assoc: Dict[int, Dict[str, int]] = {}
             shared: Optional[DewCounters] = None
             for associativity in associativities:
-                dew = DewSimulator(block_size, associativity, self.set_sizes)
+                dew = get_engine(
+                    "dew",
+                    block_size=block_size,
+                    associativity=associativity,
+                    set_sizes=self.set_sizes,
+                )
                 dew.run(trace)
                 counters = dew.counters
                 per_assoc[associativity] = {

@@ -2,11 +2,11 @@
 
 Dinero IV can only simulate one cache configuration per invocation, so
 exploring ``N`` configurations costs ``N`` complete passes over the trace.
-:class:`DineroStyleRunner` reproduces that cost model: it instantiates one
-:class:`~repro.cache.simulator.SingleConfigSimulator` per configuration and
-replays the trace through each of them independently, accumulating wall-clock
-time and tag-comparison counts.  This is the baseline that Table 3, Figure 5
-and Figure 6 measure DEW against.
+:class:`DineroStyleRunner` reproduces that cost model: it constructs one
+``single`` engine per configuration (via the engine registry) and replays the
+trace through each of them independently, accumulating wall-clock time and
+tag-comparison counts.  This is the baseline that Table 3, Figure 5 and
+Figure 6 measure DEW against.
 """
 
 from __future__ import annotations
@@ -15,11 +15,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.cache.simulator import SingleConfigSimulator
 from repro.cache.stats import CacheStats
 from repro.core.config import CacheConfig, ConfigSpace
 from repro.errors import SimulationError
-from repro.trace.trace import Trace
+from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 
 
 @dataclass
@@ -83,7 +82,12 @@ class DineroStyleRunner:
             raise SimulationError("duplicate configurations in Dinero-style sweep")
         self.seed = seed
 
-    def run(self, trace: Trace, time_budget_seconds: Optional[float] = None) -> DineroRunResult:
+    def run(
+        self,
+        trace: Trace,
+        time_budget_seconds: Optional[float] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> DineroRunResult:
         """Replay ``trace`` once per configuration.
 
         Parameters
@@ -95,13 +99,17 @@ class DineroStyleRunner:
             still simulated (exactness first) but a warning field could be
             added by callers comparing timings.  The limit exists so long
             benchmark sweeps can bound the baseline cost explicitly.
+        chunk_size:
+            Block-pipeline chunk length forwarded to every engine pass.
         """
+        from repro.engine import get_engine
+
         result = DineroRunResult(trace_length=len(trace))
         start = time.perf_counter()
         for config in self.configs:
-            simulator = SingleConfigSimulator(config, seed=self.seed)
-            simulator.run(trace)
-            result.stats[config] = simulator.stats
+            engine = get_engine("single", config=config, seed=self.seed)
+            engine.run(trace, chunk_size=chunk_size)
+            result.stats[config] = engine.stats
             result.passes += 1
             if time_budget_seconds is not None and time.perf_counter() - start > time_budget_seconds:
                 # Exactness is never sacrificed: the budget only documents

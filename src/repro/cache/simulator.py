@@ -7,14 +7,16 @@ the whole trace to produce hit/miss counts for that configuration alone.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set, Union
+from typing import Iterable, List, Optional, Sequence, Set, Union
+
+import numpy as np
 
 from repro.cache.cacheset import CacheSet
 from repro.cache.policies import make_policy
 from repro.cache.stats import CacheStats
 from repro.core.config import CacheConfig
 from repro.errors import SimulationError
-from repro.trace.trace import Trace
+from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 from repro.types import AccessType
 
 
@@ -52,7 +54,10 @@ class SingleConfigSimulator:
         """Simulate one byte-address reference; return ``True`` on a hit."""
         if address < 0:
             raise SimulationError(f"negative address: {address}")
-        block = address >> self._offset_bits
+        return self.access_block(address >> self._offset_bits, access_type)
+
+    def access_block(self, block: int, access_type: AccessType = AccessType.READ) -> bool:
+        """Simulate one reference given its block address; return ``True`` on a hit."""
         cache_set = self._sets[block & self._index_mask]
         before = cache_set.comparisons
         compulsory = False
@@ -72,13 +77,35 @@ class SingleConfigSimulator:
 
     # -- bulk simulation ------------------------------------------------------
 
-    def run(self, trace: Union[Trace, Iterable[int]]) -> CacheStats:
+    def run_blocks(
+        self,
+        blocks: Union[Sequence[int], np.ndarray],
+        access_types: Optional[Union[Sequence[int], np.ndarray]] = None,
+    ) -> None:
+        """Simulate a chunk of pre-shifted block addresses (engine pipeline)."""
+        if isinstance(blocks, np.ndarray):
+            blocks = blocks.tolist()
+        access_block = self.access_block
+        if access_types is None:
+            for block in blocks:
+                access_block(block)
+            return
+        if isinstance(access_types, np.ndarray):
+            access_types = access_types.tolist()
+        for block, type_code in zip(blocks, access_types):
+            access_block(block, AccessType(type_code))
+
+    def run(
+        self,
+        trace: Union[Trace, Iterable[int]],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> CacheStats:
         """Simulate a whole trace (or a bare iterable of addresses)."""
         if isinstance(trace, Trace):
-            addresses = trace.address_list()
-            types = trace.access_types.tolist()
-            for address, type_code in zip(addresses, types):
-                self.access(address, AccessType(type_code))
+            for blocks, types in trace.iter_block_chunks(
+                self._offset_bits, chunk_size, with_types=True
+            ):
+                self.run_blocks(blocks, types)
         else:
             for address in trace:
                 self.access(int(address))

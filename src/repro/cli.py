@@ -9,15 +9,25 @@ Installed as ``repro-dew``.  Subcommands:
     print per-configuration miss rates.
 ``baseline``
     Run the Dinero-style one-config-at-a-time baseline over the same family.
+``sweep``
+    Fan a (block size x associativity x policy) grid out over the engine
+    registry, optionally across ``--workers`` processes, and print the
+    deterministically merged per-configuration results.
 ``verify``
     Cross-check DEW against the reference simulator on a trace.
 ``reproduce``
     Regenerate the paper's tables and figures (scaled-down traces).
+
+Trace files may be Dinero ``.din``, CSV or hex lists, optionally
+gzip-compressed (``.din.gz``, ``.csv.gz``); unreadable inputs produce a
+one-line error instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import gzip
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -27,7 +37,8 @@ from repro.bench.harness import ExperimentRunner
 from repro.bench.tables import format_table1, format_table2, format_table3, format_table4
 from repro.cache.dinero import DineroStyleRunner
 from repro.core.config import CacheConfig
-from repro.core.dew import DewSimulator
+from repro.engine import build_grid_jobs, get_engine, run_sweep
+from repro.errors import ConfigurationError, ReproError, TraceError
 from repro.trace.din import read_din, write_din
 from repro.trace.textio import read_text_trace, write_text_trace
 from repro.trace.trace import Trace
@@ -37,9 +48,19 @@ from repro.workloads.mediabench import PAPER_REQUEST_COUNTS, mediabench_trace
 
 
 def _load_trace(path: str) -> Trace:
-    if path.endswith(".din"):
-        return read_din(path)
-    return read_text_trace(path)
+    """Load a ``.din``/CSV/hex trace, transparently decompressing ``.gz`` files."""
+    compressed = path.endswith(".gz")
+    stem = path[:-3] if compressed else path
+    opener = gzip.open if compressed else open
+    try:
+        with opener(path, "rt", encoding="ascii") as handle:
+            trace = read_din(handle) if stem.endswith(".din") else read_text_trace(handle)
+    except FileNotFoundError:
+        raise TraceError(f"trace file not found: {path}") from None
+    except (OSError, UnicodeDecodeError) as exc:
+        raise TraceError(f"could not read trace file {path}: {exc}") from exc
+    name = os.path.splitext(os.path.basename(stem))[0]
+    return trace.with_name(name) if name else trace
 
 
 def _set_sizes(max_sets: int) -> List[int]:
@@ -63,10 +84,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_dew(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
-    simulator = DewSimulator(args.block_size, args.associativity, _set_sizes(args.max_sets))
-    results = simulator.run(trace)
+    engine = get_engine(
+        "dew",
+        block_size=args.block_size,
+        associativity=args.associativity,
+        set_sizes=_set_sizes(args.max_sets),
+    )
+    results = engine.run(trace)
     print(f"DEW: {len(trace):,} requests, {len(results)} configurations, "
-          f"{results.elapsed_seconds:.3f}s, {simulator.counters.tag_comparisons:,} tag comparisons")
+          f"{results.elapsed_seconds:.3f}s, {engine.counters.tag_comparisons:,} tag comparisons")
     for result in results:
         print(
             f"  S={result.config.num_sets:<6} A={result.config.associativity:<3} "
@@ -95,6 +121,46 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(text: str, what: str) -> List[int]:
+    try:
+        values = [int(token) for token in text.split(",") if token.strip()]
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid {what} list: {text!r} (expected comma-separated integers)"
+        ) from None
+    if not values:
+        raise ConfigurationError(f"empty {what} list: {text!r}")
+    return values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    jobs = build_grid_jobs(
+        block_sizes=_parse_int_list(args.block_sizes, "block size"),
+        associativities=_parse_int_list(args.associativities, "associativity"),
+        set_sizes=_set_sizes(args.max_sets),
+        policies=[token for token in args.policies.split(",") if token.strip()],
+        seed=args.seed,
+    )
+    outcome = run_sweep(trace, jobs, workers=args.workers)
+    merged = outcome.merged()
+    # Result lines are deterministic (byte-identical for any worker count);
+    # timing goes to stderr so stdout stays comparable.
+    print(f"sweep: {len(trace):,} requests, {len(jobs)} jobs, {len(merged)} configurations")
+    for result in merged:
+        config = result.config
+        print(
+            f"  S={config.num_sets:<6} A={config.associativity:<3} B={config.block_size:<3} "
+            f"policy={config.policy.value:<6} misses={result.misses:<10,} "
+            f"miss_rate={result.miss_rate:.4f}"
+        )
+    print(
+        f"sweep finished in {outcome.elapsed_seconds:.3f}s with {outcome.workers} worker(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     report = cross_check(trace, args.block_size, args.associativity, _set_sizes(args.max_sets))
@@ -103,7 +169,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(max_requests=args.requests, seed=args.seed)
+    runner = ExperimentRunner(max_requests=args.requests, seed=args.seed, workers=args.workers)
     print(format_table1())
     print()
     print(format_table2(runner.traces(), PAPER_REQUEST_COUNTS))
@@ -155,6 +221,25 @@ def build_parser() -> argparse.ArgumentParser:
     add_family_arguments(baseline)
     baseline.set_defaults(func=_cmd_baseline)
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="sweep a (block size x associativity x policy) grid, optionally in parallel",
+    )
+    sweep.add_argument("trace", help="trace file (.din, .csv or hex list; .gz accepted)")
+    sweep.add_argument("--block-sizes", default="4,16,64",
+                       help="comma-separated block sizes in bytes")
+    sweep.add_argument("--associativities", default="1,4,8",
+                       help="comma-separated associativities")
+    sweep.add_argument("--max-sets", type=int, default=16384,
+                       help="largest number of sets (sweep doubles from 1)")
+    sweep.add_argument("--policies", default="fifo",
+                       help="comma-separated replacement policies (fifo, lru, random, plru)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial; results are identical)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="seed for stochastic policies")
+    sweep.set_defaults(func=_cmd_sweep)
+
     verify = subparsers.add_parser("verify", help="cross-check DEW against the reference simulator")
     add_family_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
@@ -163,6 +248,8 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--requests", type=int, default=None,
                            help="trace length for the largest application")
     reproduce.add_argument("--seed", type=int, default=2010)
+    reproduce.add_argument("--workers", type=int, default=1,
+                           help="worker processes for the Table 3 sweep")
     reproduce.set_defaults(func=_cmd_reproduce)
 
     return parser
@@ -172,7 +259,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro-dew: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

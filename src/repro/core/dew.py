@@ -31,11 +31,13 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional, Sequence, Set, Union
 
+import numpy as np
+
 from repro.core.counters import DewCounters
 from repro.core.results import ConfigResult, SimulationResults
 from repro.core.tree import DewTree
 from repro.errors import SimulationError
-from repro.trace.trace import Trace
+from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 from repro.types import EMPTY_WAVE, INVALID_TAG
 
 
@@ -134,7 +136,13 @@ class DewSimulator:
         self._access_block(address >> self._offset_bits)
 
     def _access_block(self, block: int) -> None:
-        """Simulate one request given its block address."""
+        """Simulate one request given its block address.
+
+        This is the dedicated single-access path (no chunk setup cost); the
+        walk is intentionally the same code as the chunk loop in
+        :meth:`run_blocks`, and the test suite asserts both paths produce
+        identical miss counts *and* work counters.
+        """
         counters = self.counters
         counters.requests += 1
         self._requests += 1
@@ -150,8 +158,6 @@ class DewSimulator:
         enable_mre = self.enable_mre
         per_level = counters.evaluations_per_level
 
-        # Wave pointer and matching-entry location carried down from the
-        # parent node ("Matching entry location" in Algorithms 1 and 2).
         incoming_wave = EMPTY_WAVE
         parent_waves: Optional[List[int]] = None
         parent_entry = -1
@@ -162,19 +168,12 @@ class DewSimulator:
             counters.node_evaluations += 1
             per_level[level] += 1
 
-            # Property 2 (MRA): one comparison decides this configuration
-            # *and* the direct-mapped cache of the same set size.
             counters.tag_comparisons += 1
             mra_match = level_mra[set_index] == block
             if mra_match:
                 if enable_mra:
                     counters.mra_hits += 1
-                    # Hit here and at every larger set size, both for the
-                    # simulated associativity and direct mapped: stop.
                     return
-                # Ablation mode: keep walking.  The level is still a hit for
-                # both configurations and FIFO hits change no state, so the
-                # wave chain simply restarts below this level.
                 incoming_wave = EMPTY_WAVE
                 parent_waves = None
                 continue
@@ -186,10 +185,6 @@ class DewSimulator:
             decided = False
 
             if enable_wave and incoming_wave != EMPTY_WAVE:
-                # Property 3: probe exactly the way the parent last saw this
-                # tag occupy.  The tag cannot have moved without being
-                # processed here (which would have refreshed the pointer), so
-                # a mismatch proves the tag is absent.
                 counters.wave_decisions += 1
                 counters.tag_comparisons += 1
                 if level_tags[base + incoming_wave] == block:
@@ -201,8 +196,6 @@ class DewSimulator:
                 decided = True
 
             if not decided and enable_mre:
-                # Property 4: the most recently evicted tag is guaranteed
-                # absent, so a match means "miss" with one comparison.
                 counters.tag_comparisons += 1
                 if level_mre_tag[set_index] == block:
                     counters.mre_decisions += 1
@@ -222,13 +215,11 @@ class DewSimulator:
                         break
 
             if hit:
-                # Algorithm 1: Handle_hit.
                 level_mra[set_index] = block
                 if parent_waves is not None:
                     parent_waves[parent_entry] = found_way
                 next_entry = base + found_way
             else:
-                # Algorithm 2: Handle_miss.
                 misses[level] += 1
                 level_mra[set_index] = block
                 victim = level_fifo[set_index]
@@ -236,8 +227,6 @@ class DewSimulator:
                 displaced_tag = level_tags[victim_slot]
                 displaced_wave = level_waves[victim_slot]
                 if level_mre_tag[set_index] == block:
-                    # Re-insert the evicted tag, recycling its wave pointer,
-                    # and stash the newly evicted entry in the MRE slot.
                     level_tags[victim_slot] = block
                     level_waves[victim_slot] = level_mre_wave[set_index]
                     level_mre_tag[set_index] = displaced_tag
@@ -257,14 +246,173 @@ class DewSimulator:
             parent_waves = level_waves
             parent_entry = next_entry
 
-    def run(self, trace: Union[Trace, Iterable[int]], trace_name: Optional[str] = None) -> SimulationResults:
+    def run_blocks(self, blocks: Union[Sequence[int], np.ndarray]) -> None:
+        """Simulate a chunk of block-address requests against every configuration.
+
+        This is the hot loop of the engine pipeline: all per-request state
+        (ablation switches, per-level storage views, counter references) is
+        hoisted once per chunk instead of once per access, and callers are
+        expected to hand in pre-shifted block addresses (see
+        :meth:`repro.trace.trace.Trace.iter_block_chunks`).
+        """
+        if isinstance(blocks, np.ndarray):
+            blocks = blocks.tolist()
+        if not blocks:
+            return
+        counters = self.counters
+        counters.requests += len(blocks)
+        self._requests += len(blocks)
+        if self.track_compulsory:
+            # First-touch classification only needs the set of new blocks,
+            # not per-access ordering: one set difference per chunk.
+            new_blocks = set(blocks).difference(self._seen_blocks)
+            self._compulsory += len(new_blocks)
+            self._seen_blocks |= new_blocks
+
+        associativity = self.tree.associativity
+        misses = self._misses
+        dm_misses = self._dm_misses
+        enable_mra = self.enable_mra
+        enable_wave = self.enable_wave
+        enable_mre = self.enable_mre
+        per_level = counters.evaluations_per_level
+        levels = self._levels
+
+        # Work counters accumulate in locals and flush once per chunk:
+        # attribute read-modify-writes are a large share of the walk cost.
+        n_node = n_tag = n_mra = 0
+        n_wave_dec = n_wave_hit = n_wave_miss = 0
+        n_mre = n_search = n_search_hit = 0
+
+        for block in blocks:
+            # Wave pointer and matching-entry location carried down from the
+            # parent node ("Matching entry location" in Algorithms 1 and 2).
+            incoming_wave = EMPTY_WAVE
+            parent_waves: Optional[List[int]] = None
+            parent_entry = -1
+
+            for level, (index_mask, level_tags, level_waves, level_mra,
+                        level_mre_tag, level_mre_wave, level_fifo) in enumerate(levels):
+                set_index = block & index_mask
+                n_node += 1
+                per_level[level] += 1
+
+                # Property 2 (MRA): one comparison decides this configuration
+                # *and* the direct-mapped cache of the same set size.
+                n_tag += 1
+                mra_match = level_mra[set_index] == block
+                if mra_match:
+                    if enable_mra:
+                        n_mra += 1
+                        # Hit here and at every larger set size, both for the
+                        # simulated associativity and direct mapped: stop.
+                        break
+                    # Ablation mode: keep walking.  The level is still a hit for
+                    # both configurations and FIFO hits change no state, so the
+                    # wave chain simply restarts below this level.
+                    incoming_wave = EMPTY_WAVE
+                    parent_waves = None
+                    continue
+
+                dm_misses[level] += 1
+                base = set_index * associativity
+                hit = False
+                found_way = -1
+                decided = False
+
+                if enable_wave and incoming_wave != EMPTY_WAVE:
+                    # Property 3: probe exactly the way the parent last saw this
+                    # tag occupy.  The tag cannot have moved without being
+                    # processed here (which would have refreshed the pointer), so
+                    # a mismatch proves the tag is absent.
+                    n_wave_dec += 1
+                    n_tag += 1
+                    if level_tags[base + incoming_wave] == block:
+                        hit = True
+                        found_way = incoming_wave
+                        n_wave_hit += 1
+                    else:
+                        n_wave_miss += 1
+                    decided = True
+
+                if not decided and enable_mre:
+                    # Property 4: the most recently evicted tag is guaranteed
+                    # absent, so a match means "miss" with one comparison.
+                    n_tag += 1
+                    if level_mre_tag[set_index] == block:
+                        n_mre += 1
+                        decided = True
+
+                if not decided:
+                    n_search += 1
+                    for way in range(associativity):
+                        tag = level_tags[base + way]
+                        if tag == INVALID_TAG:
+                            continue
+                        n_tag += 1
+                        if tag == block:
+                            hit = True
+                            found_way = way
+                            n_search_hit += 1
+                            break
+
+                if hit:
+                    # Algorithm 1: Handle_hit.
+                    level_mra[set_index] = block
+                    if parent_waves is not None:
+                        parent_waves[parent_entry] = found_way
+                    next_entry = base + found_way
+                else:
+                    # Algorithm 2: Handle_miss.
+                    misses[level] += 1
+                    level_mra[set_index] = block
+                    victim = level_fifo[set_index]
+                    victim_slot = base + victim
+                    displaced_tag = level_tags[victim_slot]
+                    displaced_wave = level_waves[victim_slot]
+                    if level_mre_tag[set_index] == block:
+                        # Re-insert the evicted tag, recycling its wave pointer,
+                        # and stash the newly evicted entry in the MRE slot.
+                        level_tags[victim_slot] = block
+                        level_waves[victim_slot] = level_mre_wave[set_index]
+                        level_mre_tag[set_index] = displaced_tag
+                        level_mre_wave[set_index] = displaced_wave
+                    else:
+                        level_tags[victim_slot] = block
+                        level_waves[victim_slot] = EMPTY_WAVE
+                        if displaced_tag != INVALID_TAG:
+                            level_mre_tag[set_index] = displaced_tag
+                            level_mre_wave[set_index] = displaced_wave
+                    level_fifo[set_index] = (victim + 1) % associativity
+                    if parent_waves is not None:
+                        parent_waves[parent_entry] = victim
+                    next_entry = victim_slot
+
+                incoming_wave = level_waves[next_entry]
+                parent_waves = level_waves
+                parent_entry = next_entry
+
+        counters.node_evaluations += n_node
+        counters.tag_comparisons += n_tag
+        counters.mra_hits += n_mra
+        counters.wave_decisions += n_wave_dec
+        counters.wave_hits += n_wave_hit
+        counters.wave_misses += n_wave_miss
+        counters.mre_decisions += n_mre
+        counters.searches += n_search
+        counters.search_hits += n_search_hit
+
+    def run(
+        self,
+        trace: Union[Trace, Iterable[int]],
+        trace_name: Optional[str] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> SimulationResults:
         """Simulate a whole trace and return the per-configuration results."""
         start = time.perf_counter()
-        access_block = self._access_block
         if isinstance(trace, Trace):
-            offset_bits = self._offset_bits
-            for address in trace.address_list():
-                access_block(address >> offset_bits)
+            for chunk in trace.iter_block_chunks(self._offset_bits, chunk_size):
+                self.run_blocks(chunk)
             name = trace_name or trace.name
         else:
             for address in trace:

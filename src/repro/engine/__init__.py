@@ -1,0 +1,46 @@
+"""Unified engine layer: one API over every simulator, plus parallel sweeps.
+
+``get_engine("dew", block_size=16, associativity=4)`` constructs any
+registered simulator behind the uniform :class:`~repro.engine.base.Engine`
+protocol (``run_blocks(chunk)`` / ``finalize()``); :mod:`repro.engine.sweep`
+fans grids of engines out over worker processes.  See
+:mod:`repro.engine.adapters` for the registry inventory.
+"""
+
+from repro.engine.base import (
+    Engine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from repro.engine.adapters import (
+    CrcbJanapsatyaEngine,
+    DewEngine,
+    JanapsatyaEngine,
+    SingleConfigEngine,
+    StackDistanceLruEngine,
+)
+from repro.engine.sweep import (
+    SweepJob,
+    SweepOutcome,
+    build_grid_jobs,
+    merge_results,
+    run_sweep,
+)
+
+__all__ = [
+    "Engine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "DewEngine",
+    "SingleConfigEngine",
+    "JanapsatyaEngine",
+    "CrcbJanapsatyaEngine",
+    "StackDistanceLruEngine",
+    "SweepJob",
+    "SweepOutcome",
+    "build_grid_jobs",
+    "merge_results",
+    "run_sweep",
+]

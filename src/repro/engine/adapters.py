@@ -1,0 +1,279 @@
+"""Registry adapters driving every simulator through the :class:`Engine` API.
+
+========================  ====================================================
+registry key              underlying simulator
+========================  ====================================================
+``dew``                   :class:`repro.core.dew.DewSimulator` (one pass, all
+                          set sizes of one FIFO ``(B, A)`` family + direct
+                          mapped for free)
+``single``                :class:`repro.cache.simulator.SingleConfigSimulator`
+                          (one Dinero-style configuration, any policy)
+``janapsatya``            :class:`repro.lru.janapsatya.JanapsatyaSimulator`
+                          (one pass, all set sizes x associativities, LRU)
+``janapsatya-crcb``       same, with CRCB-style consecutive-same-block pruning
+                          applied chunk by chunk (results stay exact)
+``lru-stack``             :class:`repro.lru.stack.StackDistanceEngine`
+                          (fully-associative LRU, every capacity in one pass)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cache.simulator import SingleConfigSimulator
+from repro.cache.stats import CacheStats
+from repro.core.config import CacheConfig
+from repro.core.counters import DewCounters
+from repro.core.dew import DewSimulator
+from repro.core.results import ConfigResult, SimulationResults
+from repro.engine.base import Engine, register_engine
+from repro.errors import ConfigurationError
+from repro.lru.janapsatya import JanapsatyaSimulator
+from repro.lru.stack import StackDistanceEngine
+from repro.types import ReplacementPolicy, is_power_of_two, log2_exact
+
+BlockChunk = Union[Sequence[int], np.ndarray]
+TypeChunk = Optional[Union[Sequence[int], np.ndarray]]
+
+
+@register_engine("dew")
+class DewEngine(Engine):
+    """Single-pass multi-configuration FIFO simulation (the paper's DEW)."""
+
+    def __init__(
+        self,
+        block_size: int,
+        associativity: int,
+        set_sizes: Optional[Sequence[int]] = None,
+        **simulator_options: bool,
+    ) -> None:
+        super().__init__()
+        self.simulator = DewSimulator(
+            block_size, associativity, set_sizes, **simulator_options
+        )
+
+    @property
+    def offset_bits(self) -> int:
+        return self.simulator.tree.offset_bits
+
+    @property
+    def counters(self) -> DewCounters:
+        """Work counters of the underlying DEW simulator."""
+        return self.simulator.counters
+
+    def run_blocks(self, blocks: BlockChunk, access_types: TypeChunk = None) -> None:
+        self.simulator.run_blocks(blocks)
+
+    def finalize(self, trace_name: str = "trace") -> SimulationResults:
+        return self.simulator.results(trace_name=trace_name)
+
+    def reset(self) -> None:
+        self.simulator.reset()
+        self._elapsed = 0.0
+
+
+@register_engine("single")
+class SingleConfigEngine(Engine):
+    """One Dinero-style configuration; the reference for every policy."""
+
+    wants_access_types = True
+
+    def __init__(
+        self,
+        config: Optional[CacheConfig] = None,
+        num_sets: Optional[int] = None,
+        associativity: Optional[int] = None,
+        block_size: Optional[int] = None,
+        policy: Union[str, ReplacementPolicy] = ReplacementPolicy.FIFO,
+        seed: int = 0,
+        track_compulsory: bool = True,
+    ) -> None:
+        super().__init__()
+        if config is None:
+            if num_sets is None or associativity is None or block_size is None:
+                raise ConfigurationError(
+                    "single engine needs either config= or num_sets/associativity/block_size"
+                )
+            config = CacheConfig(
+                num_sets, associativity, block_size, ReplacementPolicy.parse(policy)
+            )
+        self.config = config
+        self.simulator = SingleConfigSimulator(
+            config, seed=seed, track_compulsory=track_compulsory
+        )
+
+    @property
+    def offset_bits(self) -> int:
+        return self.config.offset_bits
+
+    @property
+    def stats(self) -> CacheStats:
+        """Dinero-style statistics of the underlying simulator."""
+        return self.simulator.stats
+
+    def run_blocks(self, blocks: BlockChunk, access_types: TypeChunk = None) -> None:
+        self.simulator.run_blocks(blocks, access_types)
+
+    def finalize(self, trace_name: str = "trace") -> SimulationResults:
+        return SimulationResults.from_stats(
+            {self.config: self.simulator.stats},
+            simulator_name=self.family,
+            trace_name=trace_name,
+        )
+
+    def reset(self) -> None:
+        self.simulator.reset()
+        self._elapsed = 0.0
+
+
+@register_engine("janapsatya")
+class JanapsatyaEngine(Engine):
+    """Single-pass multi-configuration LRU simulation (Janapsatya-style)."""
+
+    def __init__(
+        self,
+        block_size: int,
+        associativities: Sequence[int],
+        set_sizes: Sequence[int],
+        use_mru_stop: bool = True,
+    ) -> None:
+        super().__init__()
+        self.simulator = JanapsatyaSimulator(
+            block_size, associativities, set_sizes, use_mru_stop=use_mru_stop
+        )
+
+    @property
+    def offset_bits(self) -> int:
+        return self.simulator.offset_bits
+
+    def run_blocks(self, blocks: BlockChunk, access_types: TypeChunk = None) -> None:
+        self.simulator.run_blocks(blocks)
+
+    def finalize(self, trace_name: str = "trace") -> SimulationResults:
+        return self.simulator.results(trace_name=trace_name)
+
+    def reset(self) -> None:
+        self.simulator.reset()
+        self._elapsed = 0.0
+
+
+@register_engine("janapsatya-crcb")
+class CrcbJanapsatyaEngine(JanapsatyaEngine):
+    """Janapsatya LRU with streaming CRCB pruning.
+
+    Consecutive accesses to the same block are pruned before they reach the
+    simulator — chunk by chunk, carrying the last block across chunk
+    boundaries — and folded back in as universal hits at finalize time, so
+    miss counts stay exact (Tojo et al.'s observation).
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        associativities: Sequence[int],
+        set_sizes: Sequence[int],
+        use_mru_stop: bool = True,
+    ) -> None:
+        super().__init__(block_size, associativities, set_sizes, use_mru_stop=use_mru_stop)
+        self._last_block: Optional[int] = None
+        self._pending_pruned = 0
+
+    def run_blocks(self, blocks: BlockChunk, access_types: TypeChunk = None) -> None:
+        arr = np.asarray(blocks, dtype=np.int64)
+        if arr.size == 0:
+            return
+        keep = np.ones(arr.size, dtype=bool)
+        keep[1:] = arr[1:] != arr[:-1]
+        if self._last_block is not None and int(arr[0]) == self._last_block:
+            keep[0] = False
+        kept = arr[keep]
+        self._pending_pruned += int(arr.size - kept.size)
+        self._last_block = int(arr[-1])
+        if kept.size:
+            self.simulator.run_blocks(kept)
+
+    def finalize(self, trace_name: str = "trace") -> SimulationResults:
+        if self._pending_pruned:
+            self.simulator.account_pruned_hits(self._pending_pruned)
+            self._pending_pruned = 0
+        return super().finalize(trace_name=trace_name)
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_block = None
+        self._pending_pruned = 0
+
+
+@register_engine("lru-stack")
+class StackDistanceLruEngine(Engine):
+    """Fully-associative LRU via Mattson stack distances.
+
+    One pass yields exact miss counts for every requested capacity: an access
+    with stack distance ``d`` hits every fully-associative LRU cache holding
+    more than ``d`` blocks.
+    """
+
+    def __init__(self, block_size: int, capacities: Sequence[int]) -> None:
+        super().__init__()
+        if not is_power_of_two(block_size):
+            raise ConfigurationError(f"block size must be a power of two, got {block_size}")
+        if not capacities:
+            raise ConfigurationError("at least one capacity is required")
+        self.block_size = block_size
+        self.capacities = tuple(sorted(set(int(c) for c in capacities)))
+        if self.capacities[0] < 1:
+            raise ConfigurationError("capacities must be positive")
+        self._offset_bits = log2_exact(block_size)
+        self._stack = StackDistanceEngine()
+        self._misses: Dict[int, int] = {capacity: 0 for capacity in self.capacities}
+        self._requests = 0
+        self._compulsory = 0
+
+    @property
+    def offset_bits(self) -> int:
+        return self._offset_bits
+
+    def run_blocks(self, blocks: BlockChunk, access_types: TypeChunk = None) -> None:
+        if isinstance(blocks, np.ndarray):
+            blocks = blocks.tolist()
+        access = self._stack.access
+        misses = self._misses
+        capacities = self.capacities
+        self._requests += len(blocks)
+        for block in blocks:
+            distance = access(block)
+            if distance < 0:
+                self._compulsory += 1
+                for capacity in capacities:
+                    misses[capacity] += 1
+                continue
+            for capacity in capacities:
+                # Capacities are sorted: once one holds the block, all do.
+                if distance < capacity:
+                    break
+                misses[capacity] += 1
+
+    def finalize(self, trace_name: str = "trace") -> SimulationResults:
+        results = SimulationResults(
+            simulator_name=self.family, trace_name=trace_name
+        )
+        for capacity in self.capacities:
+            results.add(
+                ConfigResult(
+                    config=CacheConfig(1, capacity, self.block_size, ReplacementPolicy.LRU),
+                    accesses=self._requests,
+                    misses=self._misses[capacity],
+                    compulsory_misses=self._compulsory,
+                )
+            )
+        return results
+
+    def reset(self) -> None:
+        self._stack = StackDistanceEngine()
+        self._misses = {capacity: 0 for capacity in self.capacities}
+        self._requests = 0
+        self._compulsory = 0
+        self._elapsed = 0.0

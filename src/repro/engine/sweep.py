@@ -1,0 +1,252 @@
+"""Process-parallel sweep orchestration over the engine registry.
+
+A *sweep* is a (block size x associativity x policy) grid decomposed into
+:class:`SweepJob` specs — each a registry key plus constructor options, so a
+job is picklable and can be executed in any worker process.  The decomposition
+exploits each engine's multi-configuration reach:
+
+* FIFO cells become one ``dew`` job per ``(B, A)`` pair (all set sizes plus
+  direct-mapped results in a single pass);
+* LRU cells become one ``janapsatya`` job per block size (all set sizes and
+  associativities in a single pass);
+* any other policy falls back to one ``single`` job per configuration.
+
+:func:`run_sweep` executes the jobs — serially, or fanned out over a
+``multiprocessing`` pool — and merges the per-job
+:class:`~repro.core.results.SimulationResults` deterministically: results are
+collected in job order regardless of completion order, and configurations
+reported by more than one job (direct-mapped results come free with every DEW
+run) are deduplicated with an exactness check.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import CacheConfig
+from repro.core.results import SimulationResults
+from repro.engine.base import Engine, get_engine
+from repro.errors import EngineError, VerificationError
+from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
+from repro.types import ReplacementPolicy
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One engine invocation of a sweep: a registry key plus options.
+
+    Options are stored as a sorted tuple of ``(name, value)`` pairs so jobs
+    are hashable, comparable and picklable.
+    """
+
+    engine: str
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, engine: str, **options: Any) -> "SweepJob":
+        """Build a job from keyword options."""
+        return cls(engine, tuple(sorted(options.items())))
+
+    def build(self) -> Engine:
+        """Construct the engine this job describes."""
+        return get_engine(self.engine, **dict(self.options))
+
+    def label(self) -> str:
+        """Short human-readable job description."""
+        parts = ", ".join(f"{key}={value}" for key, value in self.options)
+        return f"{self.engine}({parts})"
+
+
+def build_grid_jobs(
+    block_sizes: Sequence[int],
+    associativities: Sequence[int],
+    set_sizes: Sequence[int],
+    policies: Sequence[Union[str, ReplacementPolicy]] = (ReplacementPolicy.FIFO,),
+    seed: int = 0,
+) -> List[SweepJob]:
+    """Decompose a (block size x associativity x policy) grid into sweep jobs."""
+    if not block_sizes or not associativities or not set_sizes or not policies:
+        raise EngineError("sweep grid dimensions must be non-empty")
+    block_list = sorted(set(int(b) for b in block_sizes))
+    assoc_list = sorted(set(int(a) for a in associativities))
+    size_tuple = tuple(sorted(set(int(s) for s in set_sizes)))
+    jobs: List[SweepJob] = []
+    seen_policies = set()
+    for raw_policy in policies:
+        try:
+            policy = ReplacementPolicy.parse(raw_policy)
+        except ValueError as exc:
+            raise EngineError(str(exc)) from None
+        if policy in seen_policies:
+            continue
+        seen_policies.add(policy)
+        if policy is ReplacementPolicy.FIFO:
+            # One DEW pass per (B, A); associativity 1 rides along with any
+            # larger associativity as the direct-mapped by-product.
+            dew_assocs = [a for a in assoc_list if a > 1] or [1]
+            for block_size in block_list:
+                for associativity in dew_assocs:
+                    jobs.append(
+                        SweepJob.make(
+                            "dew",
+                            block_size=block_size,
+                            associativity=associativity,
+                            set_sizes=size_tuple,
+                        )
+                    )
+        elif policy is ReplacementPolicy.LRU:
+            for block_size in block_list:
+                jobs.append(
+                    SweepJob.make(
+                        "janapsatya",
+                        block_size=block_size,
+                        associativities=tuple(assoc_list),
+                        set_sizes=size_tuple,
+                    )
+                )
+        else:
+            for block_size in block_list:
+                for associativity in assoc_list:
+                    for num_sets in size_tuple:
+                        jobs.append(
+                            SweepJob.make(
+                                "single",
+                                config=CacheConfig(num_sets, associativity, block_size, policy),
+                                seed=seed,
+                            )
+                        )
+    return jobs
+
+
+def merge_results(
+    per_job_results: Iterable[SimulationResults],
+    simulator_name: str = "sweep",
+    trace_name: str = "trace",
+) -> SimulationResults:
+    """Deterministically merge per-job results into one container.
+
+    Configurations reported by several jobs (e.g. direct-mapped results from
+    two DEW runs sharing a block size) must agree exactly; a conflict raises
+    :class:`~repro.errors.VerificationError`.
+    """
+    merged = SimulationResults(simulator_name=simulator_name, trace_name=trace_name)
+    for results in per_job_results:
+        merged.elapsed_seconds += results.elapsed_seconds
+        for result in results:
+            existing = merged.get(result.config)
+            if existing is None:
+                merged.add(result)
+            elif (existing.misses, existing.accesses) != (result.misses, result.accesses):
+                raise VerificationError(
+                    f"sweep jobs disagree on {result.config.label()}: "
+                    f"{existing.misses}/{existing.accesses} vs {result.misses}/{result.accesses}"
+                )
+    return merged
+
+
+@dataclass
+class SweepOutcome:
+    """Per-job and merged results of one sweep execution."""
+
+    jobs: Tuple[SweepJob, ...]
+    results: Tuple[SimulationResults, ...]
+    trace_name: str = "trace"
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+    _merged: Optional[SimulationResults] = field(default=None, repr=False)
+
+    def merged(self) -> SimulationResults:
+        """All configurations of the sweep in one deterministic container."""
+        if self._merged is None:
+            self._merged = merge_results(self.results, trace_name=self.trace_name)
+        return self._merged
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Deterministic per-configuration rows (no timing fields).
+
+        Row content is byte-identical between serial and parallel execution
+        of the same jobs, which is what the sweep CLI prints and what the
+        test suite compares.
+        """
+        rows = []
+        for result in self.merged():
+            row = result.as_dict()
+            rows.append(row)
+        return rows
+
+
+# Per-worker state installed by the pool initializer: workers inherit the
+# trace and job list once instead of re-pickling them for every job.
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _sweep_worker_init(trace: Union[Trace, Sequence[int]], jobs: Sequence[SweepJob],
+                       chunk_size: int) -> None:
+    _WORKER_STATE["trace"] = trace
+    _WORKER_STATE["jobs"] = list(jobs)
+    _WORKER_STATE["chunk_size"] = chunk_size
+
+
+def _sweep_worker_run(index: int) -> SimulationResults:
+    job = _WORKER_STATE["jobs"][index]
+    return _execute_job(job, _WORKER_STATE["trace"], _WORKER_STATE["chunk_size"])
+
+
+def _execute_job(
+    job: SweepJob,
+    trace: Union[Trace, Sequence[int]],
+    chunk_size: int,
+) -> SimulationResults:
+    return job.build().run(trace, chunk_size=chunk_size)
+
+
+def run_sweep(
+    trace: Union[Trace, Sequence[int]],
+    jobs: Iterable[SweepJob],
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    mp_context: Optional[str] = None,
+) -> SweepOutcome:
+    """Execute sweep jobs over ``trace``, optionally in parallel.
+
+    Parameters
+    ----------
+    trace:
+        The trace every job replays (a :class:`Trace` or address sequence).
+    jobs:
+        The sweep decomposition, e.g. from :func:`build_grid_jobs`.
+    workers:
+        Process count; ``<= 1`` runs serially in-process.  Results are
+        merged in job order either way, so the outcome is identical.
+    chunk_size:
+        Block-pipeline chunk length forwarded to every engine.
+    mp_context:
+        Optional ``multiprocessing`` start method (default: the platform's).
+    """
+    job_list = list(jobs)
+    if not job_list:
+        raise EngineError("run_sweep needs at least one job")
+    start = time.perf_counter()
+    if workers <= 1 or len(job_list) == 1:
+        results = [_execute_job(job, trace, chunk_size) for job in job_list]
+        effective_workers = 1
+    else:
+        context = multiprocessing.get_context(mp_context)
+        effective_workers = min(workers, len(job_list))
+        with context.Pool(
+            effective_workers,
+            initializer=_sweep_worker_init,
+            initargs=(trace, job_list, chunk_size),
+        ) as pool:
+            results = pool.map(_sweep_worker_run, range(len(job_list)))
+    elapsed = time.perf_counter() - start
+    return SweepOutcome(
+        jobs=tuple(job_list),
+        results=tuple(results),
+        trace_name=trace.name if isinstance(trace, Trace) else "trace",
+        workers=effective_workers,
+        elapsed_seconds=elapsed,
+    )

@@ -37,6 +37,14 @@ class SimulationError(ReproError):
     """
 
 
+class EngineError(ReproError):
+    """An engine lookup or sweep orchestration request was invalid.
+
+    Raised for unknown registry keys, duplicate registrations and empty
+    sweep plans.
+    """
+
+
 class VerificationError(ReproError):
     """Cross-checking two simulators found differing hit/miss counts."""
 

@@ -27,11 +27,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.core.config import CacheConfig
 from repro.core.results import ConfigResult, SimulationResults
 from repro.errors import ConfigurationError, SimulationError
 from repro.lru.crcb import CrcbFilter
-from repro.trace.trace import Trace
+from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 from repro.types import ReplacementPolicy, is_power_of_two, log2_exact
 
 
@@ -161,7 +163,28 @@ class JanapsatyaSimulator:
             recency.pop(position)
             recency.insert(0, block)
 
-    def run(self, trace: Union[Trace, Iterable[int]], trace_name: Optional[str] = None) -> SimulationResults:
+    def run_blocks(self, blocks: Union[Sequence[int], np.ndarray]) -> None:
+        """Simulate a chunk of pre-shifted block addresses (engine pipeline)."""
+        if isinstance(blocks, np.ndarray):
+            blocks = blocks.tolist()
+        access_block = self._access_block
+        for block in blocks:
+            access_block(block)
+
+    def account_pruned_hits(self, pruned: int) -> None:
+        """Fold CRCB-pruned accesses back in as universal hits (exactness)."""
+        if pruned <= 0:
+            return
+        self.counters.crcb_pruned += pruned
+        self._requests += pruned
+        self.counters.requests += pruned
+
+    def run(
+        self,
+        trace: Union[Trace, Iterable[int]],
+        trace_name: Optional[str] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> SimulationResults:
         """Simulate a whole trace and return per-configuration results."""
         start = time.perf_counter()
         pruned = 0
@@ -169,12 +192,10 @@ class JanapsatyaSimulator:
             name = trace_name or trace.name
             if self.use_crcb_filter:
                 filtered, pruned = CrcbFilter(self.block_size).apply(trace)
-                addresses = filtered.address_list()
             else:
-                addresses = trace.address_list()
-            offset_bits = self.offset_bits
-            for address in addresses:
-                self._access_block(address >> offset_bits)
+                filtered = trace
+            for chunk in filtered.iter_block_chunks(self.offset_bits, chunk_size):
+                self.run_blocks(chunk)
         else:
             name = trace_name or "trace"
             for address in trace:
@@ -182,9 +203,7 @@ class JanapsatyaSimulator:
         if pruned:
             # Pruned accesses are guaranteed hits in every configuration:
             # account for them in the request count without touching misses.
-            self.counters.crcb_pruned += pruned
-            self._requests += pruned
-            self.counters.requests += pruned
+            self.account_pruned_hits(pruned)
         self._elapsed += time.perf_counter() - start
         return self.results(trace_name=name)
 

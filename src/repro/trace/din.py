@@ -9,10 +9,10 @@ tolerated on input.
 from __future__ import annotations
 
 import os
-from typing import List, TextIO, Union
+from typing import Iterable, TextIO, Union
 
 from repro.errors import TraceFormatError
-from repro.trace.trace import Trace
+from repro.trace.trace import StreamingTraceBuilder, Trace
 from repro.types import AccessType
 
 _LABEL_TO_TYPE = {
@@ -31,9 +31,10 @@ _TYPE_TO_LABEL = {
 }
 
 
-def _parse_lines(lines: List[str], source: str) -> Trace:
-    addresses: List[int] = []
-    types: List[int] = []
+def _parse_lines(lines: Iterable[str], source: str) -> Trace:
+    """Parse an iterable of lines, streaming accesses into numpy chunks."""
+    name = os.path.splitext(os.path.basename(source))[0] or "din"
+    builder = StreamingTraceBuilder(name=name)
     for line_number, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
@@ -56,20 +57,21 @@ def _parse_lines(lines: List[str], source: str) -> Trace:
             raise TraceFormatError(
                 f"{source}:{line_number}: invalid hexadecimal address {address_text!r}"
             ) from exc
-        addresses.append(address)
-        types.append(int(access_type))
-    name = os.path.splitext(os.path.basename(source))[0] or "din"
-    return Trace(addresses, types, name=name)
+        builder.add(address, int(access_type))
+    return builder.build()
 
 
 def read_din(path_or_file: Union[str, os.PathLike, TextIO]) -> Trace:
-    """Read a Dinero ``.din`` trace from a path or an open text file."""
+    """Read a Dinero ``.din`` trace from a path or an open text file.
+
+    Lines are consumed one at a time: the whole file is never materialised
+    as Python objects (see :class:`~repro.trace.trace.StreamingTraceBuilder`).
+    """
     if hasattr(path_or_file, "read"):
-        lines = path_or_file.read().splitlines()
         source = getattr(path_or_file, "name", "<stream>")
-        return _parse_lines(lines, str(source))
+        return _parse_lines(path_or_file, str(source))
     with open(path_or_file, "r", encoding="ascii") as handle:
-        return _parse_lines(handle.read().splitlines(), str(path_or_file))
+        return _parse_lines(handle, str(path_or_file))
 
 
 def write_din(trace: Trace, path_or_file: Union[str, os.PathLike, TextIO]) -> None:

@@ -11,11 +11,12 @@ Two formats are supported:
 from __future__ import annotations
 
 import csv
+import itertools
 import os
-from typing import List, TextIO, Union
+from typing import Iterable, Iterator, TextIO, Union
 
 from repro.errors import TraceFormatError
-from repro.trace.trace import Trace
+from repro.trace.trace import StreamingTraceBuilder, Trace
 from repro.types import AccessType
 
 
@@ -23,59 +24,71 @@ def read_text_trace(path_or_file: Union[str, os.PathLike, TextIO]) -> Trace:
     """Read a trace from either the hex-list or the CSV text format.
 
     The format is auto-detected: a first non-empty line containing a comma is
-    treated as CSV, anything else as a hex list.
+    treated as CSV, anything else as a hex list.  Lines are consumed one at a
+    time, so the whole file is never held as Python objects.
     """
     if hasattr(path_or_file, "read"):
-        content = path_or_file.read()
         source = str(getattr(path_or_file, "name", "<stream>"))
-    else:
-        with open(path_or_file, "r", encoding="ascii") as handle:
-            content = handle.read()
-        source = str(path_or_file)
-    lines = [line for line in content.splitlines() if line.strip() and not line.strip().startswith("#")]
-    if not lines:
+        return _read_stream(path_or_file, source)
+    with open(path_or_file, "r", encoding="ascii") as handle:
+        return _read_stream(handle, str(path_or_file))
+
+
+def _meaningful_lines(lines: Iterable[str]) -> Iterator[str]:
+    for line in lines:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            yield line
+
+
+def _read_stream(lines: Iterable[str], source: str) -> Trace:
+    meaningful = _meaningful_lines(lines)
+    first = next(meaningful, None)
+    if first is None:
         return Trace.empty(name=os.path.splitext(os.path.basename(source))[0] or "text")
-    if "," in lines[0]:
-        return _read_csv(lines, source)
-    return _read_hex_list(lines, source)
+    rest = itertools.chain([first], meaningful)
+    if "," in first:
+        return _read_csv(rest, source)
+    return _read_hex_list(rest, source)
 
 
-def _read_hex_list(lines: List[str], source: str) -> Trace:
-    addresses = []
+def _read_hex_list(lines: Iterable[str], source: str) -> Trace:
+    name = os.path.splitext(os.path.basename(source))[0] or "text"
+    builder = StreamingTraceBuilder(name=name)
     for line_number, line in enumerate(lines, start=1):
         token = line.strip()
         try:
-            addresses.append(int(token, 16))
+            builder.add(int(token, 16))
         except ValueError as exc:
             raise TraceFormatError(
                 f"{source}:{line_number}: invalid hexadecimal address {token!r}"
             ) from exc
-    name = os.path.splitext(os.path.basename(source))[0] or "text"
-    return Trace(addresses, name=name)
+    return builder.build()
 
 
-def _read_csv(lines: List[str], source: str) -> Trace:
+def _read_csv(lines: Iterable[str], source: str) -> Trace:
     reader = csv.DictReader(lines)
     if reader.fieldnames is None or "address" not in reader.fieldnames:
         raise TraceFormatError(f"{source}: CSV trace must have an 'address' column")
-    addresses, types, sizes = [], [], []
+    name = os.path.splitext(os.path.basename(source))[0] or "csv"
+    builder = StreamingTraceBuilder(name=name)
     for row_number, row in enumerate(reader, start=2):
         try:
-            addresses.append(int(row["address"], 0))
+            address = int(row["address"], 0)
         except (TypeError, ValueError) as exc:
             raise TraceFormatError(f"{source}:{row_number}: bad address {row.get('address')!r}") from exc
         type_text = (row.get("type") or "r").strip()
         try:
-            types.append(int(AccessType.from_symbol(type_text)))
+            access_type = int(AccessType.from_symbol(type_text))
         except ValueError as exc:
             raise TraceFormatError(f"{source}:{row_number}: bad access type {type_text!r}") from exc
         size_text = (row.get("size") or "4").strip()
         try:
-            sizes.append(int(size_text))
+            size = int(size_text)
         except ValueError as exc:
             raise TraceFormatError(f"{source}:{row_number}: bad size {size_text!r}") from exc
-    name = os.path.splitext(os.path.basename(source))[0] or "csv"
-    return Trace(addresses, types, sizes, name=name)
+        builder.add(address, access_type, size)
+    return builder.build()
 
 
 def write_text_trace(

@@ -2,18 +2,25 @@
 
 A trace is stored as parallel numpy arrays (addresses, access types, sizes)
 so that multi-hundred-thousand-entry traces are cheap to hold, slice and
-convert to the plain Python lists the simulator inner loops iterate over.
+feed to simulators.  The preferred consumption path is
+:meth:`Trace.iter_block_chunks`, which shifts addresses to block addresses
+with one vectorised numpy operation per chunk instead of one Python ``>>``
+per access; :meth:`Trace.address_list` remains for per-address drivers and
+is memoized so repeated runs stop re-converting the ndarray.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import TraceError
 from repro.trace.record import MemoryAccess
 from repro.types import AccessType, Address
+
+#: Chunk length used by the block pipeline when the caller does not choose one.
+DEFAULT_CHUNK_SIZE = 65_536
 
 
 class Trace:
@@ -64,6 +71,8 @@ class Trace:
         self._addresses.setflags(write=False)
         self._types.setflags(write=False)
         self._sizes.setflags(write=False)
+        self._address_list_cache: Optional[List[int]] = None
+        self._block_address_cache: Dict[int, np.ndarray] = {}
 
     # -- construction helpers -------------------------------------------------
 
@@ -118,6 +127,14 @@ class Trace:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Trace(name={self.name!r}, length={len(self)})"
 
+    def __getstate__(self) -> Dict[str, object]:
+        # Caches are cheap to rebuild and can dwarf the arrays themselves;
+        # keep worker pickles (multiprocessing sweeps) lean.
+        state = dict(self.__dict__)
+        state["_address_list_cache"] = None
+        state["_block_address_cache"] = {}
+        return state
+
     # -- array views ----------------------------------------------------------
 
     @property
@@ -136,14 +153,55 @@ class Trace:
         return self._sizes
 
     def address_list(self) -> List[int]:
-        """Addresses as a plain Python list (fastest form for simulator loops)."""
-        return self._addresses.tolist()
+        """Addresses as a plain Python list (fastest form for simulator loops).
+
+        The conversion is memoized: repeated simulator runs over the same
+        trace reuse one list instead of re-converting the ndarray each time.
+        The returned list is shared — treat it as read-only and copy before
+        mutating (``list(trace.address_list())``).
+        """
+        if self._address_list_cache is None:
+            self._address_list_cache = self._addresses.tolist()
+        return self._address_list_cache
 
     def block_addresses(self, block_size: int) -> np.ndarray:
-        """Block addresses of every access for the given block size."""
+        """Block addresses of every access for the given block size (memoized)."""
         if block_size <= 0 or block_size & (block_size - 1):
             raise TraceError(f"block size must be a power of two, got {block_size}")
-        return self._addresses >> (block_size.bit_length() - 1)
+        offset_bits = block_size.bit_length() - 1
+        cached = self._block_address_cache.get(offset_bits)
+        if cached is None:
+            cached = self._addresses >> offset_bits
+            cached.setflags(write=False)
+            self._block_address_cache[offset_bits] = cached
+        return cached
+
+    def iter_block_chunks(
+        self,
+        offset_bits: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        with_types: bool = False,
+    ) -> Iterator[Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]]:
+        """Yield pre-shifted block-address chunks for the engine pipeline.
+
+        Each chunk is an ``int64`` ndarray of ``chunk_size`` block addresses
+        (the final chunk may be shorter), produced with one vectorised shift
+        instead of one Python-level ``>>`` per access.  With ``with_types``
+        the per-access :class:`~repro.types.AccessType` codes ride along as a
+        second array.
+        """
+        if offset_bits < 0:
+            raise TraceError(f"offset_bits must be non-negative, got {offset_bits}")
+        if chunk_size < 1:
+            raise TraceError(f"chunk size must be positive, got {chunk_size}")
+        length = self._addresses.size
+        for start in range(0, length, chunk_size):
+            stop = min(start + chunk_size, length)
+            blocks = self._addresses[start:stop] >> offset_bits
+            if with_types:
+                yield blocks, self._types[start:stop]
+            else:
+                yield blocks
 
     def unique_blocks(self, block_size: int) -> int:
         """Number of distinct blocks touched at the given block size."""
@@ -224,3 +282,62 @@ class TraceBuilder:
     def build(self) -> Trace:
         """Freeze the builder into an immutable :class:`Trace`."""
         return Trace(self._addresses, self._types, self._sizes, name=self.name)
+
+
+class StreamingTraceBuilder:
+    """Bounded-memory trace assembly for streaming file readers.
+
+    Accesses are buffered in plain Python lists only up to ``chunk_size``
+    entries; each full buffer is flushed to packed numpy arrays, so parsing a
+    multi-million-line trace file never holds the whole file's worth of
+    Python objects at once.
+    """
+
+    def __init__(self, name: str = "trace", chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if chunk_size < 1:
+            raise TraceError(f"chunk size must be positive, got {chunk_size}")
+        self.name = name
+        self._chunk_size = chunk_size
+        self._addresses: List[int] = []
+        self._types: List[int] = []
+        self._sizes: List[int] = []
+        self._address_chunks: List[np.ndarray] = []
+        self._type_chunks: List[np.ndarray] = []
+        self._size_chunks: List[np.ndarray] = []
+        self._flushed = 0
+
+    def __len__(self) -> int:
+        return self._flushed + len(self._addresses)
+
+    def add(self, address: int, access_type: int = int(AccessType.READ), size: int = 4) -> None:
+        """Append one access; flushes the buffer when it reaches the chunk size."""
+        if address < 0:
+            raise TraceError(f"negative address in trace: {address}")
+        self._addresses.append(int(address))
+        self._types.append(int(access_type))
+        self._sizes.append(int(size))
+        if len(self._addresses) >= self._chunk_size:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._addresses:
+            return
+        self._address_chunks.append(np.asarray(self._addresses, dtype=np.int64))
+        self._type_chunks.append(np.asarray(self._types, dtype=np.int8))
+        self._size_chunks.append(np.asarray(self._sizes, dtype=np.int16))
+        self._flushed += len(self._addresses)
+        self._addresses = []
+        self._types = []
+        self._sizes = []
+
+    def build(self) -> Trace:
+        """Concatenate the flushed chunks into an immutable :class:`Trace`."""
+        self._flush()
+        if not self._address_chunks:
+            return Trace.empty(name=self.name)
+        return Trace(
+            np.concatenate(self._address_chunks),
+            np.concatenate(self._type_chunks),
+            np.concatenate(self._size_chunks),
+            name=self.name,
+        )

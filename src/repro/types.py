@@ -70,12 +70,21 @@ class AccessType(enum.IntEnum):
 
 
 class ReplacementPolicy(enum.Enum):
-    """Replacement policies supported by the reference cache model."""
+    """Replacement policies supported by the reference cache model.
+
+    The enum is orderable (alphabetically by value) so configurations from
+    different policies can live in one sorted result container.
+    """
 
     FIFO = "fifo"
     LRU = "lru"
     RANDOM = "random"
     PLRU = "plru"
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, ReplacementPolicy):
+            return self.value < other.value
+        return NotImplemented
 
     @classmethod
     def parse(cls, name: Union[str, "ReplacementPolicy"]) -> "ReplacementPolicy":

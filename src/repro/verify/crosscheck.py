@@ -3,7 +3,9 @@
 :func:`cross_check` verifies one DEW run (one block size, one associativity,
 all set sizes) against independent single-configuration simulations;
 :func:`cross_check_space` sweeps a whole :class:`ConfigSpace` the way the
-paper verified all 525 configurations.
+paper verified all 525 configurations.  Both sides are constructed through
+the engine registry, so any registered multi-configuration engine can be
+verified the same way.
 """
 
 from __future__ import annotations
@@ -11,10 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.cache.simulator import SingleConfigSimulator
 from repro.core.config import CacheConfig, ConfigSpace
-from repro.core.dew import DewSimulator
 from repro.core.results import SimulationResults
+from repro.engine import get_engine
 from repro.errors import VerificationError
 from repro.trace.trace import Trace
 from repro.types import ReplacementPolicy
@@ -54,20 +55,32 @@ def cross_check(
     block_size: int,
     associativity: int,
     set_sizes: Sequence[int],
-    **dew_options: bool,
+    engine: str = "dew",
+    **engine_options: bool,
 ) -> CrossCheckReport:
-    """Verify one DEW family run against per-configuration reference runs."""
-    simulator = DewSimulator(block_size, associativity, set_sizes, **dew_options)
-    dew_results = simulator.run(trace)
+    """Verify one multi-configuration engine run against per-configuration references.
+
+    ``engine`` names any registered family engine taking ``(block_size,
+    associativity, set_sizes)`` — by default DEW; every configuration it
+    reports is re-simulated independently through the ``single`` engine.
+    """
+    family = get_engine(
+        engine,
+        block_size=block_size,
+        associativity=associativity,
+        set_sizes=set_sizes,
+        **engine_options,
+    )
+    dew_results = family.run(trace)
     trace_name = trace.name if isinstance(trace, Trace) else "trace"
     report = CrossCheckReport(trace_name=trace_name, dew_results=dew_results)
     for config in dew_results.configs():
-        reference = SingleConfigSimulator(config)
-        reference.run(trace)
+        reference = get_engine("single", config=config)
+        reference_results = reference.run(trace)
         report.configs_checked += 1
-        if reference.stats.misses != dew_results[config].misses:
+        if reference_results[config].misses != dew_results[config].misses:
             report.mismatches.append(
-                (config, dew_results[config].misses, reference.stats.misses)
+                (config, dew_results[config].misses, reference_results[config].misses)
             )
     return report
 
