@@ -14,9 +14,12 @@ import pytest
 from repro.cache.simulator import SingleConfigSimulator
 from repro.core.config import CacheConfig
 from repro.core.dew import DewSimulator
-from repro.engine import get_engine
+from repro.core.results import ConfigResult, ResultsFrame, SimulationResults
+from repro.engine import build_grid_jobs, get_engine, merge_results, run_sweep
 from repro.lru.janapsatya import JanapsatyaSimulator
+from repro.store import open_store
 from repro.trace.stats import compute_trace_statistics
+from repro.types import ReplacementPolicy
 from repro.workloads.synthetic import WorkingSetGenerator
 
 SET_SIZES = tuple(2**i for i in range(11))
@@ -115,6 +118,95 @@ def test_micro_chunked_pipeline_beats_per_address_loop():
     assert chunked_seconds < per_address_seconds, (
         f"chunked pipeline ({chunked_seconds:.3f}s) should beat the "
         f"per-address loop ({per_address_seconds:.3f}s)"
+    )
+
+
+def _synthetic_families(num_families=16, num_levels=15, num_assocs=256):
+    """Disjoint per-family result sets large enough to expose merge costs.
+
+    Each family covers ``num_levels x num_assocs`` configurations of one
+    block size/policy pair — tens of thousands of rows overall, the regime
+    the sweep merge sees on full design-space studies.
+    """
+    families = []
+    for index in range(num_families):
+        block_size = 2 ** (index % 7)
+        policy = list(ReplacementPolicy)[index // 7 % len(ReplacementPolicy)]
+        results = [
+            ConfigResult(
+                CacheConfig(2**level, assoc, block_size, policy),
+                accesses=100_000,
+                misses=50_000 - level - assoc,
+                compulsory_misses=level,
+            )
+            for level in range(num_levels)
+            for assoc in range(1, num_assocs + 1)
+        ]
+        families.append(
+            SimulationResults(results, simulator_name="bench", trace_name="merge")
+        )
+    return families
+
+
+def test_micro_columnar_merge_beats_object_merge():
+    """ResultsFrame.merge must outpace the object-level merge loop.
+
+    The columnar path concatenates numpy key/value columns and deduplicates
+    with one lexsort; the object path walks a Python dict per result.  With
+    ~60k result rows the vectorised path must win (and both must produce
+    identical rows).
+    """
+    families = _synthetic_families()
+    frames = [family.frame() for family in families]
+
+    def time_object_merge():
+        start = time.perf_counter()
+        merged = merge_results(families)
+        return time.perf_counter() - start, merged
+
+    def time_columnar_merge():
+        start = time.perf_counter()
+        merged = ResultsFrame.merge(frames)
+        return time.perf_counter() - start, merged
+
+    object_seconds, object_merged = min(
+        (time_object_merge() for _ in range(3)), key=lambda pair: pair[0]
+    )
+    columnar_seconds, columnar_merged = min(
+        (time_columnar_merge() for _ in range(3)), key=lambda pair: pair[0]
+    )
+
+    assert [r.as_dict() for r in columnar_merged] == object_merged.as_rows()
+    assert columnar_seconds < object_seconds, (
+        f"columnar merge ({columnar_seconds:.3f}s) should beat the "
+        f"object-level merge ({object_seconds:.3f}s)"
+    )
+
+
+def test_micro_warm_sweep_beats_cold_sweep(tmp_path, micro_trace):
+    """A store-warmed sweep must execute zero jobs and beat the cold run.
+
+    This quantifies the persistent store's win: the second run over the same
+    trace and grid is pure artifact loading, so it must be faster than
+    simulating, while producing byte-identical rows.
+    """
+    store = open_store(tmp_path / "store")
+    jobs = build_grid_jobs([8, 32], [1, 2, 4], SET_SIZES, policies=("fifo", "lru"))
+
+    cold_start = time.perf_counter()
+    cold = run_sweep(micro_trace, jobs, store=store)
+    cold_seconds = time.perf_counter() - cold_start
+
+    warm_start = time.perf_counter()
+    warm = run_sweep(micro_trace, jobs, store=store)
+    warm_seconds = time.perf_counter() - warm_start
+
+    assert cold.executed_jobs == len(jobs)
+    assert warm.executed_jobs == 0
+    assert warm.as_rows() == cold.as_rows()
+    assert warm_seconds < cold_seconds, (
+        f"store-warmed sweep ({warm_seconds:.3f}s) should beat the "
+        f"cold sweep ({cold_seconds:.3f}s)"
     )
 
 

@@ -16,6 +16,8 @@ inventory):
 * :mod:`repro.engine` — the uniform engine layer: every simulator behind one
   ``run_blocks``/``finalize`` protocol, a string-keyed registry
   (``get_engine("dew", ...)``) and a process-parallel sweep orchestrator.
+* :mod:`repro.store` — content-addressed persistent result store; sweeps
+  routed through it are incremental and resumable (``open_store(path)``).
 * :mod:`repro.bench` — the harness regenerating the paper's tables/figures.
 * :mod:`repro.verify` — exact-match cross-checking between simulators.
 
@@ -33,7 +35,7 @@ from repro._version import __version__
 from repro.core.config import CacheConfig, ConfigSpace
 from repro.core.counters import DewCounters
 from repro.core.dew import DewSimulator, simulate_fifo_family
-from repro.core.results import ConfigResult, SimulationResults
+from repro.core.results import ConfigResult, ResultsFrame, SimulationResults
 from repro.core.tree import DewTree
 from repro.cache.dinero import DineroRunResult, DineroStyleRunner
 from repro.cache.simulator import SingleConfigSimulator, simulate_trace
@@ -49,6 +51,7 @@ from repro.engine import (
     run_sweep,
 )
 from repro.lru.janapsatya import JanapsatyaSimulator, simulate_lru_family
+from repro.store import ResultStore, StoreKey, open_store
 from repro.trace.trace import Trace, TraceBuilder
 from repro.trace.din import read_din, write_din
 from repro.types import AccessType, ReplacementPolicy
@@ -64,6 +67,7 @@ __all__ = [
     "DewSimulator",
     "simulate_fifo_family",
     "ConfigResult",
+    "ResultsFrame",
     "SimulationResults",
     "DewTree",
     "DineroRunResult",
@@ -81,6 +85,9 @@ __all__ = [
     "run_sweep",
     "JanapsatyaSimulator",
     "simulate_lru_family",
+    "ResultStore",
+    "StoreKey",
+    "open_store",
     "Trace",
     "TraceBuilder",
     "read_din",

@@ -18,14 +18,16 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.cache.dinero import DineroStyleRunner
 from repro.core.config import CacheConfig
 from repro.core.counters import DewCounters
 from repro.core.results import SimulationResults
-from repro.engine import get_engine
+from repro.engine import build_grid_jobs, get_engine, run_sweep
+from repro.engine.sweep import SweepOutcome
 from repro.errors import VerificationError
+from repro.store import ResultStore, open_store
 from repro.trace.trace import Trace
 from repro.types import ReplacementPolicy
 from repro.workloads.mediabench import MEDIABENCH_APPS, mediabench_trace, scaled_request_count
@@ -169,6 +171,12 @@ class ExperimentRunner:
     workers:
         Default process count for :meth:`run_table3`; ``1`` keeps the sweep
         serial and in-process.
+    store:
+        Optional persistent result store (a
+        :class:`~repro.store.ResultStore` or a directory path) used by
+        :meth:`sweep_app`: grid cells already simulated for a trace are
+        loaded instead of re-run, so repeated experiment campaigns pay only
+        for new cells.
     """
 
     def __init__(
@@ -182,6 +190,7 @@ class ExperimentRunner:
         seed: int = 2010,
         verify: bool = True,
         workers: int = 1,
+        store: Optional[Union[str, "os.PathLike", ResultStore]] = None,
     ) -> None:
         self.apps = list(apps) if apps is not None else [app.name for app in MEDIABENCH_APPS]
         self.block_sizes = tuple(block_sizes)
@@ -192,7 +201,14 @@ class ExperimentRunner:
         self.seed = seed
         self.verify = verify
         self.workers = workers
+        self._store = store
         self._traces: Dict[str, Trace] = {}
+
+    def store(self) -> Optional[ResultStore]:
+        """The opened result store, or ``None`` when none was configured."""
+        if self._store is not None and not isinstance(self._store, ResultStore):
+            self._store = open_store(self._store)
+        return self._store
 
     # -- workload handling ------------------------------------------------------
 
@@ -300,6 +316,38 @@ class ExperimentRunner:
             initargs=(self,),
         ) as pool:
             return pool.map(_table3_worker_cell, cell_params)
+
+    def sweep_app(
+        self,
+        app: str,
+        policies: Sequence[Union[str, ReplacementPolicy]] = (ReplacementPolicy.FIFO,),
+        workers: Optional[int] = None,
+        force: bool = False,
+    ) -> SweepOutcome:
+        """Sweep the runner's full grid for one application, incrementally.
+
+        Decomposes ``(block_sizes x associativities x set_sizes x policies)``
+        into engine jobs and executes them through :func:`run_sweep`, routed
+        through the configured result store when one was given: a repeated
+        campaign loads finished cells from disk and simulates only the cells
+        that changed (``force=True`` re-runs everything).  The outcome is
+        byte-identical to a cold run either way.
+        """
+        trace = self.trace_for(app)
+        jobs = build_grid_jobs(
+            block_sizes=self.block_sizes,
+            associativities=self.associativities,
+            set_sizes=self.set_sizes,
+            policies=policies,
+            seed=self.seed,
+        )
+        return run_sweep(
+            trace,
+            jobs,
+            workers=self.workers if workers is None else workers,
+            store=self.store(),
+            force=force,
+        )
 
     def run_table4(
         self,

@@ -12,7 +12,12 @@ Installed as ``repro-dew``.  Subcommands:
 ``sweep``
     Fan a (block size x associativity x policy) grid out over the engine
     registry, optionally across ``--workers`` processes, and print the
-    deterministically merged per-configuration results.
+    deterministically merged per-configuration results.  With ``--store DIR``
+    the sweep is incremental: cells already simulated for this trace are
+    loaded from the content-addressed result store, only missing cells are
+    executed (``--force`` re-runs everything), and the printed output is
+    byte-identical to a cold run.  ``--format json`` emits machine-readable
+    output with a stable sort order.
 ``verify``
     Cross-check DEW against the reference simulator on a trace.
 ``reproduce``
@@ -39,6 +44,7 @@ from repro.cache.dinero import DineroStyleRunner
 from repro.core.config import CacheConfig
 from repro.engine import build_grid_jobs, get_engine, run_sweep
 from repro.errors import ConfigurationError, ReproError, TraceError
+from repro.store import open_store
 from repro.trace.din import read_din, write_din
 from repro.trace.textio import read_text_trace, write_text_trace
 from repro.trace.trace import Trace
@@ -142,17 +148,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         policies=[token for token in args.policies.split(",") if token.strip()],
         seed=args.seed,
     )
-    outcome = run_sweep(trace, jobs, workers=args.workers)
+    store = open_store(args.store) if args.store else None
+    outcome = run_sweep(trace, jobs, workers=args.workers, store=store, force=args.force)
     merged = outcome.merged()
-    # Result lines are deterministic (byte-identical for any worker count);
-    # timing goes to stderr so stdout stays comparable.
-    print(f"sweep: {len(trace):,} requests, {len(jobs)} jobs, {len(merged)} configurations")
-    for result in merged:
-        config = result.config
+    # Result lines are deterministic (byte-identical for any worker count and
+    # for cold vs store-warmed runs); timing and store bookkeeping go to
+    # stderr so stdout stays comparable.
+    if args.format == "json":
+        print(merged.to_json())
+    else:
+        print(f"sweep: {len(trace):,} requests, {len(jobs)} jobs, {len(merged)} configurations")
+        for result in merged:
+            config = result.config
+            print(
+                f"  S={config.num_sets:<6} A={config.associativity:<3} B={config.block_size:<3} "
+                f"policy={config.policy.value:<6} misses={result.misses:<10,} "
+                f"miss_rate={result.miss_rate:.4f}"
+            )
+    if store is not None:
         print(
-            f"  S={config.num_sets:<6} A={config.associativity:<3} B={config.block_size:<3} "
-            f"policy={config.policy.value:<6} misses={result.misses:<10,} "
-            f"miss_rate={result.miss_rate:.4f}"
+            f"store: {outcome.cached_jobs} job(s) from cache, "
+            f"{outcome.executed_jobs} executed",
+            file=sys.stderr,
         )
     print(
         f"sweep finished in {outcome.elapsed_seconds:.3f}s with {outcome.workers} worker(s)",
@@ -238,6 +255,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (1 = serial; results are identical)")
     sweep.add_argument("--seed", type=int, default=0,
                        help="seed for stochastic policies")
+    sweep.add_argument("--store", default=None, metavar="DIR",
+                       help="persistent result store directory; cells already "
+                            "simulated for this trace are loaded, not re-run")
+    sweep.add_argument("--force", action="store_true",
+                       help="with --store, re-execute every job even when cached")
+    sweep.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format (json rows use a stable sort order)")
     sweep.set_defaults(func=_cmd_sweep)
 
     verify = subparsers.add_parser("verify", help="cross-check DEW against the reference simulator")

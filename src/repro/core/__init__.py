@@ -15,8 +15,9 @@ simulator described in the paper:
 ``counters``
     :class:`DewCounters`, the instrumentation behind Table 4 and Figure 6.
 ``results``
-    Per-configuration hit/miss results and the multi-configuration result
-    set returned by a simulation run.
+    Per-configuration hit/miss results: the columnar :class:`ResultsFrame`
+    data spine plus the object-level multi-configuration result set
+    returned by a simulation run.
 ``properties``
     Executable statements of the four DEW properties, used by the test
     suite.
@@ -24,7 +25,7 @@ simulator described in the paper:
 
 from repro.core.config import CacheConfig, ConfigSpace
 from repro.core.counters import DewCounters
-from repro.core.results import ConfigResult, SimulationResults
+from repro.core.results import ConfigResult, ResultsFrame, SimulationResults
 from repro.core.tree import DewTree
 from repro.core.dew import DewSimulator, simulate_fifo_family
 
@@ -33,6 +34,7 @@ __all__ = [
     "ConfigSpace",
     "DewCounters",
     "ConfigResult",
+    "ResultsFrame",
     "SimulationResults",
     "DewTree",
     "DewSimulator",

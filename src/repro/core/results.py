@@ -1,21 +1,58 @@
 """Result containers for multi-configuration simulation runs.
 
-A DEW pass produces hit/miss counts for a whole family of configurations at
-once; :class:`SimulationResults` is the dictionary-like container holding one
-:class:`ConfigResult` per configuration, plus the run's counters and timing.
+The data spine of the results layer is the columnar :class:`ResultsFrame`:
+parallel numpy arrays keyed by the configuration tuple ``(num_sets,
+associativity, block_size, policy)`` with accesses/misses/compulsory columns
+(hits are derived), held in canonical sorted order.  Frames are what the
+persistent result store serialises, what sweep merging operates on, and what
+keeps a million-cell result set cheap to hold and compare.
+
+:class:`ConfigResult` and :class:`SimulationResults` remain the object-level
+API every engine adapter, cross-checker and bench table already speaks — but
+:class:`SimulationResults` is now a thin view: it can be backed directly by a
+:class:`ResultsFrame` (no per-row Python objects until a caller asks for
+them) and can materialise its columnar form via :meth:`SimulationResults.frame`.
 The same container is produced by the Dinero-style baseline (via
 :func:`SimulationResults.from_stats`) so the two can be compared directly.
 """
 
 from __future__ import annotations
 
+import io
+import json
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    BinaryIO,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
 
 from repro.cache.stats import CacheStats
 from repro.core.config import CacheConfig
 from repro.core.counters import DewCounters
-from repro.errors import SimulationError
+from repro.errors import SimulationError, VerificationError
+from repro.types import ReplacementPolicy
+
+#: Version of the columnar payload written by :meth:`ResultsFrame.to_npz`.
+#: Bump whenever the column set, dtypes or metadata layout changes.
+FRAME_SCHEMA_VERSION = 1
+
+#: Fixed policy-code table.  Codes index this tuple; it is alphabetical by
+#: policy value, so code order equals the sort order used by
+#: :class:`~repro.core.config.CacheConfig` comparisons.
+POLICY_TABLE: Tuple[str, ...] = tuple(sorted(p.value for p in ReplacementPolicy))
+_POLICY_CODES: Dict[str, int] = {value: code for code, value in enumerate(POLICY_TABLE)}
 
 
 @dataclass(frozen=True)
@@ -58,8 +95,507 @@ class ConfigResult:
         }
 
 
+def _policy_code(policy: ReplacementPolicy) -> int:
+    return _POLICY_CODES[policy.value]
+
+
+class ResultsFrame:
+    """Columnar per-configuration results: parallel numpy arrays.
+
+    Rows are keyed by the configuration tuple ``(num_sets, associativity,
+    block_size, policy)`` and always held in canonical order — sorted by that
+    tuple, policies alphabetically by value — so two frames covering the same
+    cells compare array-wise and iterate identically no matter how they were
+    produced.  Duplicate keys are rejected at construction; use
+    :meth:`merge` to combine frames that may share cells.
+
+    Columns
+    -------
+    ``num_sets``, ``associativities``, ``block_sizes`` (``int64``),
+    ``policy_codes`` (``int8``, indices into :data:`POLICY_TABLE`),
+    ``accesses``, ``misses``, ``compulsory`` (``int64``).  Hits are derived
+    (:attr:`hits`); the direct-mapped by-products of a DEW run are ordinary
+    rows with associativity 1 (see :meth:`direct_mapped`).  ``elapsed_seconds``
+    plus the simulator/trace names ride along as scalar metadata.
+    """
+
+    __slots__ = (
+        "num_sets",
+        "associativities",
+        "block_sizes",
+        "policy_codes",
+        "accesses",
+        "misses",
+        "compulsory",
+        "elapsed_seconds",
+        "simulator_name",
+        "trace_name",
+        "_key_index",
+    )
+
+    def __init__(
+        self,
+        num_sets: Union[Sequence[int], np.ndarray],
+        associativities: Union[Sequence[int], np.ndarray],
+        block_sizes: Union[Sequence[int], np.ndarray],
+        policy_codes: Union[Sequence[int], np.ndarray],
+        accesses: Union[Sequence[int], np.ndarray],
+        misses: Union[Sequence[int], np.ndarray],
+        compulsory: Union[Sequence[int], np.ndarray],
+        elapsed_seconds: float = 0.0,
+        simulator_name: str = "dew",
+        trace_name: str = "trace",
+    ) -> None:
+        columns = {
+            "num_sets": np.asarray(num_sets, dtype=np.int64),
+            "associativities": np.asarray(associativities, dtype=np.int64),
+            "block_sizes": np.asarray(block_sizes, dtype=np.int64),
+            "policy_codes": np.asarray(policy_codes, dtype=np.int8),
+            "accesses": np.asarray(accesses, dtype=np.int64),
+            "misses": np.asarray(misses, dtype=np.int64),
+            "compulsory": np.asarray(compulsory, dtype=np.int64),
+        }
+        length = columns["num_sets"].size
+        for name, column in columns.items():
+            if column.ndim != 1:
+                raise SimulationError(f"frame column {name} must be one-dimensional")
+            if column.size != length:
+                raise SimulationError(
+                    f"frame column {name} has {column.size} rows, expected {length}"
+                )
+        codes = columns["policy_codes"]
+        if length and (codes.min() < 0 or codes.max() >= len(POLICY_TABLE)):
+            raise SimulationError("frame contains an unknown policy code")
+        order = self._canonical_order(columns)
+        for name, column in columns.items():
+            canonical = np.ascontiguousarray(column[order])
+            canonical.setflags(write=False)
+            setattr(self, name, canonical)
+        self._reject_duplicate_keys()
+        self.elapsed_seconds = float(elapsed_seconds)
+        self.simulator_name = simulator_name
+        self.trace_name = trace_name
+        self._key_index: Optional[Dict[Tuple[int, int, int, int], int]] = None
+
+    @staticmethod
+    def _canonical_order(columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        # lexsort: last key is primary.  Policy codes index an alphabetical
+        # table, so sorting by code matches CacheConfig's dataclass order
+        # (num_sets, associativity, block_size, policy value).
+        return np.lexsort(
+            (
+                columns["policy_codes"],
+                columns["block_sizes"],
+                columns["associativities"],
+                columns["num_sets"],
+            )
+        )
+
+    def _key_matrix(self) -> np.ndarray:
+        return np.stack(
+            [
+                self.num_sets,
+                self.associativities,
+                self.block_sizes,
+                self.policy_codes.astype(np.int64),
+            ],
+            axis=1,
+        )
+
+    def _reject_duplicate_keys(self) -> None:
+        if len(self) < 2:
+            return
+        keys = self._key_matrix()
+        same = np.all(keys[1:] == keys[:-1], axis=1)
+        if same.any():
+            row = int(np.flatnonzero(same)[0]) + 1
+            raise SimulationError(
+                f"duplicate result for configuration {self.config_at(row).label()}"
+            )
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.num_sets.size)
+
+    def __iter__(self) -> Iterator[ConfigResult]:
+        for row in range(len(self)):
+            yield self.result_at(row)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultsFrame):
+            return NotImplemented
+        return (
+            np.array_equal(self.num_sets, other.num_sets)
+            and np.array_equal(self.associativities, other.associativities)
+            and np.array_equal(self.block_sizes, other.block_sizes)
+            and np.array_equal(self.policy_codes, other.policy_codes)
+            and np.array_equal(self.accesses, other.accesses)
+            and np.array_equal(self.misses, other.misses)
+            and np.array_equal(self.compulsory, other.compulsory)
+            and self.elapsed_seconds == other.elapsed_seconds
+            and self.simulator_name == other.simulator_name
+            and self.trace_name == other.trace_name
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultsFrame({self.simulator_name!r}, {len(self)} rows, "
+            f"trace={self.trace_name!r}, {self.elapsed_seconds:.3f}s)"
+        )
+
+    # -- row access -----------------------------------------------------------
+
+    def config_at(self, row: int) -> CacheConfig:
+        """The configuration keying the given row."""
+        return CacheConfig(
+            int(self.num_sets[row]),
+            int(self.associativities[row]),
+            int(self.block_sizes[row]),
+            ReplacementPolicy(POLICY_TABLE[int(self.policy_codes[row])]),
+        )
+
+    def result_at(self, row: int) -> ConfigResult:
+        """The given row as an object-level :class:`ConfigResult`."""
+        return ConfigResult(
+            config=self.config_at(row),
+            accesses=int(self.accesses[row]),
+            misses=int(self.misses[row]),
+            compulsory_misses=int(self.compulsory[row]),
+        )
+
+    def index_of(self, config: CacheConfig) -> Optional[int]:
+        """Row index of ``config``, or ``None`` when absent."""
+        if self._key_index is None:
+            self._key_index = {
+                (
+                    int(self.num_sets[row]),
+                    int(self.associativities[row]),
+                    int(self.block_sizes[row]),
+                    int(self.policy_codes[row]),
+                ): row
+                for row in range(len(self))
+            }
+        key = (
+            config.num_sets,
+            config.associativity,
+            config.block_size,
+            _policy_code(config.policy),
+        )
+        return self._key_index.get(key)
+
+    # -- derived columns ------------------------------------------------------
+
+    @property
+    def hits(self) -> np.ndarray:
+        """Per-row hit counts (accesses minus misses)."""
+        return self.accesses - self.misses
+
+    def miss_rate_column(self) -> np.ndarray:
+        """Per-row miss rates (0 for empty-trace rows)."""
+        rates = np.zeros(len(self), dtype=np.float64)
+        populated = self.accesses > 0
+        np.divide(self.misses, self.accesses, out=rates, where=populated)
+        return rates
+
+    def direct_mapped(self) -> "ResultsFrame":
+        """The associativity-1 rows (DEW's free by-products) as a sub-frame."""
+        return self.select(self.associativities == 1)
+
+    def dm_misses(self) -> Dict[Tuple[int, int], int]:
+        """Direct-mapped miss counts keyed by ``(block_size, num_sets)``."""
+        sub = self.direct_mapped()
+        return {
+            (int(block), int(sets)): int(misses)
+            for block, sets, misses in zip(sub.block_sizes, sub.num_sets, sub.misses)
+        }
+
+    def select(self, mask: np.ndarray) -> "ResultsFrame":
+        """A new frame containing only the rows where ``mask`` is true."""
+        return ResultsFrame(
+            self.num_sets[mask],
+            self.associativities[mask],
+            self.block_sizes[mask],
+            self.policy_codes[mask],
+            self.accesses[mask],
+            self.misses[mask],
+            self.compulsory[mask],
+            elapsed_seconds=self.elapsed_seconds,
+            simulator_name=self.simulator_name,
+            trace_name=self.trace_name,
+        )
+
+    def with_metadata(
+        self,
+        elapsed_seconds: Optional[float] = None,
+        simulator_name: Optional[str] = None,
+        trace_name: Optional[str] = None,
+    ) -> "ResultsFrame":
+        """A copy of this frame with replaced scalar metadata (arrays shared)."""
+        clone = object.__new__(ResultsFrame)
+        for name in (
+            "num_sets",
+            "associativities",
+            "block_sizes",
+            "policy_codes",
+            "accesses",
+            "misses",
+            "compulsory",
+        ):
+            setattr(clone, name, getattr(self, name))
+        clone.elapsed_seconds = (
+            self.elapsed_seconds if elapsed_seconds is None else float(elapsed_seconds)
+        )
+        clone.simulator_name = self.simulator_name if simulator_name is None else simulator_name
+        clone.trace_name = self.trace_name if trace_name is None else trace_name
+        clone._key_index = self._key_index
+        return clone
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        num_sets: np.ndarray,
+        associativities: np.ndarray,
+        block_sizes: np.ndarray,
+        policy_codes: np.ndarray,
+        accesses: np.ndarray,
+        misses: np.ndarray,
+        compulsory: np.ndarray,
+        elapsed_seconds: float,
+        simulator_name: str,
+        trace_name: str,
+    ) -> "ResultsFrame":
+        """Internal fast path: columns already sorted canonically and unique.
+
+        Skips the public constructor's re-sort and duplicate scan; callers
+        (:meth:`merge`) guarantee both invariants.
+        """
+        frame = object.__new__(cls)
+        columns = {
+            "num_sets": np.ascontiguousarray(num_sets, dtype=np.int64),
+            "associativities": np.ascontiguousarray(associativities, dtype=np.int64),
+            "block_sizes": np.ascontiguousarray(block_sizes, dtype=np.int64),
+            "policy_codes": np.ascontiguousarray(policy_codes, dtype=np.int8),
+            "accesses": np.ascontiguousarray(accesses, dtype=np.int64),
+            "misses": np.ascontiguousarray(misses, dtype=np.int64),
+            "compulsory": np.ascontiguousarray(compulsory, dtype=np.int64),
+        }
+        for name, column in columns.items():
+            column.setflags(write=False)
+            setattr(frame, name, column)
+        frame.elapsed_seconds = float(elapsed_seconds)
+        frame.simulator_name = simulator_name
+        frame.trace_name = trace_name
+        frame._key_index = None
+        return frame
+
+    @classmethod
+    def from_results(
+        cls,
+        results: Iterable[ConfigResult],
+        elapsed_seconds: float = 0.0,
+        simulator_name: str = "dew",
+        trace_name: str = "trace",
+    ) -> "ResultsFrame":
+        """Build a frame from object-level results (any order; must be unique)."""
+        rows = list(results)
+        return cls(
+            [r.config.num_sets for r in rows],
+            [r.config.associativity for r in rows],
+            [r.config.block_size for r in rows],
+            [_policy_code(r.config.policy) for r in rows],
+            [r.accesses for r in rows],
+            [r.misses for r in rows],
+            [r.compulsory_misses for r in rows],
+            elapsed_seconds=elapsed_seconds,
+            simulator_name=simulator_name,
+            trace_name=trace_name,
+        )
+
+    @classmethod
+    def merge(
+        cls,
+        frames: Sequence["ResultsFrame"],
+        simulator_name: str = "sweep",
+        trace_name: str = "trace",
+    ) -> "ResultsFrame":
+        """Vectorised conflict-checked merge of several frames.
+
+        Cells reported by more than one frame must agree exactly on
+        ``(misses, accesses)`` — a disagreement raises
+        :class:`~repro.errors.VerificationError`, mirroring
+        :func:`repro.engine.sweep.merge_results`; agreeing duplicates keep
+        the row from the earliest frame.  Elapsed times are summed.
+        """
+        frames = list(frames)
+        if not frames:
+            return cls([], [], [], [], [], [], [],
+                       simulator_name=simulator_name, trace_name=trace_name)
+        keys = np.concatenate(
+            [
+                np.stack(
+                    [
+                        f.num_sets,
+                        f.associativities,
+                        f.block_sizes,
+                        f.policy_codes.astype(np.int64),
+                    ],
+                    axis=1,
+                )
+                for f in frames
+            ]
+        )
+        accesses = np.concatenate([f.accesses for f in frames])
+        misses = np.concatenate([f.misses for f in frames])
+        compulsory = np.concatenate([f.compulsory for f in frames])
+        # Stable sort by key keeps the earliest frame's row first among
+        # duplicates, preserving job-order merge semantics.
+        order = np.lexsort((keys[:, 3], keys[:, 2], keys[:, 1], keys[:, 0]))
+        keys = keys[order]
+        accesses = accesses[order]
+        misses = misses[order]
+        compulsory = compulsory[order]
+        if keys.shape[0] > 1:
+            same = np.all(keys[1:] == keys[:-1], axis=1)
+            conflict = same & (
+                (misses[1:] != misses[:-1]) | (accesses[1:] != accesses[:-1])
+            )
+            if conflict.any():
+                row = int(np.flatnonzero(conflict)[0])
+                config = CacheConfig(
+                    int(keys[row, 0]),
+                    int(keys[row, 1]),
+                    int(keys[row, 2]),
+                    ReplacementPolicy(POLICY_TABLE[int(keys[row, 3])]),
+                )
+                raise VerificationError(
+                    f"sweep jobs disagree on {config.label()}: "
+                    f"{misses[row]}/{accesses[row]} vs {misses[row + 1]}/{accesses[row + 1]}"
+                )
+            keep = np.ones(keys.shape[0], dtype=bool)
+            keep[1:] = ~same
+            keys = keys[keep]
+            accesses = accesses[keep]
+            misses = misses[keep]
+            compulsory = compulsory[keep]
+        # Already sorted and deduplicated above: take the fast path instead
+        # of paying the constructor's re-sort and duplicate scan again.
+        return cls._from_canonical(
+            keys[:, 0],
+            keys[:, 1],
+            keys[:, 2],
+            keys[:, 3],
+            accesses,
+            misses,
+            compulsory,
+            elapsed_seconds=sum(f.elapsed_seconds for f in frames),
+            simulator_name=simulator_name,
+            trace_name=trace_name,
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_npz(self, file: Union[str, "os.PathLike[str]", BinaryIO],
+               extra_metadata: Optional[Dict[str, Any]] = None) -> None:
+        """Write the frame as a compressed ``.npz`` payload.
+
+        ``extra_metadata`` (JSON-able) is embedded alongside the frame's own
+        metadata; the result store uses it to tie an artifact to its key.
+        """
+        metadata = {
+            "schema": FRAME_SCHEMA_VERSION,
+            "elapsed_seconds": self.elapsed_seconds,
+            "simulator_name": self.simulator_name,
+            "trace_name": self.trace_name,
+            "policy_table": list(POLICY_TABLE),
+        }
+        if extra_metadata:
+            metadata["extra"] = extra_metadata
+        np.savez_compressed(
+            file,
+            num_sets=self.num_sets,
+            associativities=self.associativities,
+            block_sizes=self.block_sizes,
+            policy_codes=self.policy_codes,
+            accesses=self.accesses,
+            misses=self.misses,
+            compulsory=self.compulsory,
+            metadata=np.asarray(json.dumps(metadata, sort_keys=True)),
+        )
+
+    @classmethod
+    def read_npz(
+        cls, file: Union[str, "os.PathLike[str]", BinaryIO]
+    ) -> Tuple["ResultsFrame", Dict[str, Any]]:
+        """Load a frame plus its embedded extra metadata from ``.npz``.
+
+        Raises :class:`~repro.errors.SimulationError` for unknown schema
+        versions or malformed payloads.
+        """
+        with np.load(file, allow_pickle=False) as payload:
+            try:
+                metadata = json.loads(str(payload["metadata"][()]))
+            except (KeyError, ValueError) as exc:
+                raise SimulationError(f"results payload has no readable metadata: {exc}") from exc
+            if metadata.get("schema") != FRAME_SCHEMA_VERSION:
+                raise SimulationError(
+                    f"unsupported results schema {metadata.get('schema')!r} "
+                    f"(this build reads version {FRAME_SCHEMA_VERSION})"
+                )
+            stored_table = metadata.get("policy_table", list(POLICY_TABLE))
+            codes = payload["policy_codes"]
+            if list(stored_table) != list(POLICY_TABLE):
+                # Remap codes written under a different policy table.
+                try:
+                    remap = np.asarray(
+                        [_POLICY_CODES[value] for value in stored_table], dtype=np.int8
+                    )
+                except KeyError as exc:
+                    raise SimulationError(f"results payload uses unknown policy {exc}") from exc
+                codes = remap[codes]
+            frame = cls(
+                payload["num_sets"],
+                payload["associativities"],
+                payload["block_sizes"],
+                codes,
+                payload["accesses"],
+                payload["misses"],
+                payload["compulsory"],
+                elapsed_seconds=float(metadata.get("elapsed_seconds", 0.0)),
+                simulator_name=str(metadata.get("simulator_name", "dew")),
+                trace_name=str(metadata.get("trace_name", "trace")),
+            )
+        return frame, metadata.get("extra", {})
+
+    @classmethod
+    def from_npz(cls, file: Union[str, "os.PathLike[str]", BinaryIO]) -> "ResultsFrame":
+        """Load a frame from a ``.npz`` payload, discarding extra metadata."""
+        frame, _ = cls.read_npz(file)
+        return frame
+
+    def to_bytes(self, extra_metadata: Optional[Dict[str, Any]] = None) -> bytes:
+        """The frame as in-memory ``.npz`` bytes (see :meth:`to_npz`)."""
+        buffer = io.BytesIO()
+        self.to_npz(buffer, extra_metadata=extra_metadata)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ResultsFrame":
+        """Inverse of :meth:`to_bytes`."""
+        return cls.from_npz(io.BytesIO(data))
+
+
 class SimulationResults:
-    """Hit/miss results for a family of configurations from one simulation run."""
+    """Hit/miss results for a family of configurations from one simulation run.
+
+    A thin view over columnar data: when built :meth:`from_frame` the rows
+    stay in the backing :class:`ResultsFrame` and :class:`ConfigResult`
+    objects are materialised only on demand; when built incrementally via
+    :meth:`add` the columnar form is materialised on demand via
+    :meth:`frame`.  Either way the object-level API is unchanged.
+    """
 
     def __init__(
         self,
@@ -69,7 +605,8 @@ class SimulationResults:
         simulator_name: str = "dew",
         trace_name: str = "trace",
     ) -> None:
-        self._by_config: Dict[CacheConfig, ConfigResult] = {}
+        self._by_config: Optional[Dict[CacheConfig, ConfigResult]] = {}
+        self._frame: Optional[ResultsFrame] = None
         for result in results or []:
             self.add(result)
         self.counters = counters or DewCounters()
@@ -77,37 +614,97 @@ class SimulationResults:
         self.simulator_name = simulator_name
         self.trace_name = trace_name
 
+    @classmethod
+    def from_frame(
+        cls, frame: ResultsFrame, counters: Optional[DewCounters] = None
+    ) -> "SimulationResults":
+        """Wrap a columnar frame without materialising per-row objects."""
+        view = cls.__new__(cls)
+        view._by_config = None
+        view._frame = frame
+        view.counters = counters or DewCounters()
+        view.elapsed_seconds = frame.elapsed_seconds
+        view.simulator_name = frame.simulator_name
+        view.trace_name = frame.trace_name
+        return view
+
+    def frame(self) -> ResultsFrame:
+        """This run's results in columnar form (cached; canonical row order)."""
+        if self._frame is not None and (
+            self._frame.elapsed_seconds != self.elapsed_seconds
+            or self._frame.simulator_name != self.simulator_name
+            or self._frame.trace_name != self.trace_name
+        ):
+            self._frame = self._frame.with_metadata(
+                elapsed_seconds=self.elapsed_seconds,
+                simulator_name=self.simulator_name,
+                trace_name=self.trace_name,
+            )
+        if self._frame is None:
+            assert self._by_config is not None
+            self._frame = ResultsFrame.from_results(
+                self._by_config.values(),
+                elapsed_seconds=self.elapsed_seconds,
+                simulator_name=self.simulator_name,
+                trace_name=self.trace_name,
+            )
+        return self._frame
+
+    def _mapping(self) -> Dict[CacheConfig, ConfigResult]:
+        if self._by_config is None:
+            assert self._frame is not None
+            self._by_config = {result.config: result for result in self._frame}
+        return self._by_config
+
     # -- container protocol ---------------------------------------------------
 
     def add(self, result: ConfigResult) -> None:
         """Insert one per-configuration result (configurations must be unique)."""
-        if result.config in self._by_config:
+        mapping = self._mapping()
+        if result.config in mapping:
             raise SimulationError(f"duplicate result for configuration {result.config.label()}")
-        self._by_config[result.config] = result
+        mapping[result.config] = result
+        self._frame = None
 
     def __len__(self) -> int:
+        if self._by_config is None:
+            assert self._frame is not None
+            return len(self._frame)
         return len(self._by_config)
 
     def __iter__(self) -> Iterator[ConfigResult]:
+        if self._by_config is None:
+            assert self._frame is not None
+            return iter(self._frame)
         return iter(sorted(self._by_config.values(), key=lambda r: r.config))
 
     def __contains__(self, config: CacheConfig) -> bool:
+        if self._by_config is None:
+            assert self._frame is not None
+            return self._frame.index_of(config) is not None
         return config in self._by_config
 
     def __getitem__(self, config: CacheConfig) -> ConfigResult:
-        try:
-            return self._by_config[config]
-        except KeyError as exc:
-            raise KeyError(f"no result for configuration {config.label()}") from exc
+        result = self.get(config)
+        if result is None:
+            raise KeyError(f"no result for configuration {config.label()}")
+        return result
 
     def configs(self) -> List[CacheConfig]:
         """All configurations covered by this run, sorted."""
+        if self._by_config is None:
+            assert self._frame is not None
+            return [self._frame.config_at(row) for row in range(len(self._frame))]
         return sorted(self._by_config)
 
     # -- lookups --------------------------------------------------------------
 
     def get(self, config: CacheConfig) -> Optional[ConfigResult]:
         """Result for ``config`` or ``None``."""
+        if self._by_config is None:
+            assert self._frame is not None
+            row = self._frame.index_of(config)
+            return None if row is None else self._frame.result_at(row)
         return self._by_config.get(config)
 
     def misses(self, config: CacheConfig) -> int:
@@ -116,7 +713,7 @@ class SimulationResults:
 
     def miss_rates(self) -> Dict[CacheConfig, float]:
         """Miss rate per configuration."""
-        return {config: result.miss_rate for config, result in self._by_config.items()}
+        return {result.config: result.miss_rate for result in self}
 
     def best_config(self, max_total_size: Optional[int] = None) -> ConfigResult:
         """Configuration with the fewest misses (optionally capped by capacity).
@@ -126,7 +723,7 @@ class SimulationResults:
         """
         candidates = [
             result
-            for result in self._by_config.values()
+            for result in self
             if max_total_size is None or result.config.total_size <= max_total_size
         ]
         if not candidates:
@@ -164,6 +761,21 @@ class SimulationResults:
         """Flat list of per-configuration dictionaries (sorted by config)."""
         return [result.as_dict() for result in self]
 
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Machine-readable JSON with a stable (canonical) row order.
+
+        Rows are sorted by the configuration tuple and keys keep a fixed
+        order, so the output of two runs over the same cells is
+        byte-identical.
+        """
+        payload = {
+            "schema": FRAME_SCHEMA_VERSION,
+            "simulator": self.simulator_name,
+            "trace": self.trace_name,
+            "configurations": self.as_rows(),
+        }
+        return json.dumps(payload, indent=indent)
+
     def diff(self, other: "SimulationResults") -> List[Tuple[CacheConfig, int, int]]:
         """Configurations where the two runs disagree on miss counts.
 
@@ -171,12 +783,12 @@ class SimulationResults:
         configuration present in both runs whose miss counts differ.
         """
         differences = []
-        for config, result in self._by_config.items():
-            other_result = other.get(config)
+        for result in self:
+            other_result = other.get(result.config)
             if other_result is None:
                 continue
             if other_result.misses != result.misses or other_result.accesses != result.accesses:
-                differences.append((config, result.misses, other_result.misses))
+                differences.append((result.config, result.misses, other_result.misses))
         return differences
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,4 +1,4 @@
-"""Process-parallel sweep orchestration over the engine registry.
+"""Process-parallel, store-aware sweep orchestration over the engine registry.
 
 A *sweep* is a (block size x associativity x policy) grid decomposed into
 :class:`SweepJob` specs — each a registry key plus constructor options, so a
@@ -11,35 +11,93 @@ exploits each engine's multi-configuration reach:
   associativities in a single pass);
 * any other policy falls back to one ``single`` job per configuration.
 
+Job options are canonicalized at construction (lists become tuples, policy
+strings/enums collapse to the enum's value), so semantically equal jobs have
+equal identities — and, through :meth:`SweepJob.store_key`, equal
+content-addresses in the persistent result store.
+
 :func:`run_sweep` executes the jobs — serially, or fanned out over a
 ``multiprocessing`` pool — and merges the per-job
 :class:`~repro.core.results.SimulationResults` deterministically: results are
 collected in job order regardless of completion order, and configurations
 reported by more than one job (direct-mapped results come free with every DEW
-run) are deduplicated with an exactness check.
+run) are deduplicated with an exactness check.  With ``store=`` the sweep is
+*incremental*: cached cells are loaded instead of simulated, fresh cells are
+persisted the moment they finish (so a killed sweep resumes where it died),
+and the merged outcome is byte-identical to a cold run.
 """
 
 from __future__ import annotations
 
+import enum
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.config import CacheConfig
 from repro.core.results import SimulationResults
 from repro.engine.base import Engine, get_engine
 from repro.errors import EngineError, VerificationError
+from repro.store import ResultStore, StoreKey, open_store
 from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 from repro.types import ReplacementPolicy
+
+#: Option names whose values are replacement policies and are parsed as such
+#: during canonicalization (so ``"FIFO"``, ``"fifo"`` and
+#: ``ReplacementPolicy.FIFO`` all canonicalize to ``"fifo"``).
+_POLICY_OPTION_NAMES = frozenset({"policy"})
+_POLICY_LIST_OPTION_NAMES = frozenset({"policies"})
+
+
+def _canonical_value(value: Any) -> Any:
+    """Collapse semantically equal option values onto one canonical form.
+
+    Sequences become tuples, enums their values, numpy scalars plain Python
+    numbers.  :class:`CacheConfig` is already frozen, hashable and ordered,
+    so it passes through unchanged.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, enum.Enum):
+        return _canonical_value(value.value)
+    if isinstance(value, CacheConfig):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_canonical_value(item) for item in value))
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _canonical_value(v)) for k, v in value.items()))
+    return value
+
+
+def _canonical_option(name: str, value: Any) -> Any:
+    if name in _POLICY_OPTION_NAMES and isinstance(value, (str, ReplacementPolicy)):
+        return ReplacementPolicy.parse(value).value
+    if name in _POLICY_LIST_OPTION_NAMES and isinstance(value, (list, tuple, set, frozenset)):
+        return tuple(ReplacementPolicy.parse(item).value for item in value)
+    return _canonical_value(value)
 
 
 @dataclass(frozen=True)
 class SweepJob:
     """One engine invocation of a sweep: a registry key plus options.
 
-    Options are stored as a sorted tuple of ``(name, value)`` pairs so jobs
-    are hashable, comparable and picklable.
+    Options are stored as a sorted tuple of ``(name, value)`` pairs —
+    canonicalized by :meth:`make` — so jobs are hashable, comparable,
+    picklable, and semantically equal option dicts (``set_sizes`` as list vs
+    tuple, ``policy`` as string vs enum) produce identical job identities
+    and store keys.
     """
 
     engine: str
@@ -47,12 +105,19 @@ class SweepJob:
 
     @classmethod
     def make(cls, engine: str, **options: Any) -> "SweepJob":
-        """Build a job from keyword options."""
-        return cls(engine, tuple(sorted(options.items())))
+        """Build a job from keyword options, canonicalizing their values."""
+        canonical = {
+            name: _canonical_option(name, value) for name, value in options.items()
+        }
+        return cls(str(engine).strip().lower(), tuple(sorted(canonical.items())))
 
     def build(self) -> Engine:
         """Construct the engine this job describes."""
         return get_engine(self.engine, **dict(self.options))
+
+    def store_key(self, trace_fingerprint: str) -> StoreKey:
+        """Content address of this job's results over the given trace."""
+        return StoreKey.make(trace_fingerprint, self.engine, self.options)
 
     def label(self) -> str:
         """Short human-readable job description."""
@@ -156,6 +221,8 @@ class SweepOutcome:
     trace_name: str = "trace"
     workers: int = 1
     elapsed_seconds: float = 0.0
+    cached_jobs: int = 0
+    executed_jobs: int = 0
     _merged: Optional[SimulationResults] = field(default=None, repr=False)
 
     def merged(self) -> SimulationResults:
@@ -168,8 +235,8 @@ class SweepOutcome:
         """Deterministic per-configuration rows (no timing fields).
 
         Row content is byte-identical between serial and parallel execution
-        of the same jobs, which is what the sweep CLI prints and what the
-        test suite compares.
+        of the same jobs — and between cold and store-warmed runs — which is
+        what the sweep CLI prints and what the test suite compares.
         """
         rows = []
         for result in self.merged():
@@ -203,14 +270,22 @@ def _execute_job(
     return job.build().run(trace, chunk_size=chunk_size)
 
 
+def _coerce_store(store: Optional[Union[str, "os.PathLike", ResultStore]]) -> Optional[ResultStore]:
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return open_store(store)
+
+
 def run_sweep(
     trace: Union[Trace, Sequence[int]],
     jobs: Iterable[SweepJob],
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     mp_context: Optional[str] = None,
+    store: Optional[Union[str, "os.PathLike", ResultStore]] = None,
+    force: bool = False,
 ) -> SweepOutcome:
-    """Execute sweep jobs over ``trace``, optionally in parallel.
+    """Execute sweep jobs over ``trace``, optionally in parallel and incremental.
 
     Parameters
     ----------
@@ -225,28 +300,71 @@ def run_sweep(
         Block-pipeline chunk length forwarded to every engine.
     mp_context:
         Optional ``multiprocessing`` start method (default: the platform's).
+    store:
+        Optional persistent result store (a :class:`~repro.store.ResultStore`
+        or a directory path).  Jobs whose results are already stored for this
+        trace are loaded instead of executed; fresh results are persisted the
+        moment each job finishes, so an interrupted sweep resumes paying only
+        for unfinished jobs.  The merged outcome is byte-identical to a cold
+        run.
+    force:
+        With a store, re-execute (and overwrite) every job even when cached.
     """
     job_list = list(jobs)
     if not job_list:
         raise EngineError("run_sweep needs at least one job")
     start = time.perf_counter()
-    if workers <= 1 or len(job_list) == 1:
-        results = [_execute_job(job, trace, chunk_size) for job in job_list]
+    result_store = _coerce_store(store)
+    keys: Optional[List[StoreKey]] = None
+    results: List[Optional[SimulationResults]] = [None] * len(job_list)
+    cached_jobs = 0
+    if result_store is not None:
+        if not isinstance(trace, Trace):
+            trace = Trace(np.fromiter((int(a) for a in trace), dtype=np.int64))
+        fingerprint = trace.fingerprint()
+        keys = [job.store_key(fingerprint) for job in job_list]
+        if not force:
+            for index, key in enumerate(keys):
+                cached = result_store.get(key)
+                if cached is not None:
+                    results[index] = cached
+            cached_jobs = sum(1 for r in results if r is not None)
+    missing = [index for index, loaded in enumerate(results) if loaded is None]
+    if not missing:
         effective_workers = 1
+    elif workers <= 1 or len(missing) == 1:
+        effective_workers = 1
+        for index in missing:
+            fresh = _execute_job(job_list[index], trace, chunk_size)
+            results[index] = fresh
+            if result_store is not None and keys is not None:
+                result_store.put(keys[index], fresh)
     else:
         context = multiprocessing.get_context(mp_context)
-        effective_workers = min(workers, len(job_list))
+        effective_workers = min(workers, len(missing))
+        pending = [job_list[index] for index in missing]
         with context.Pool(
             effective_workers,
             initializer=_sweep_worker_init,
-            initargs=(trace, job_list, chunk_size),
+            initargs=(trace, pending, chunk_size),
         ) as pool:
-            results = pool.map(_sweep_worker_run, range(len(job_list)))
+            # imap yields in submission order as results complete, so each
+            # fresh result is persisted without waiting for the whole pool —
+            # a kill mid-sweep keeps everything already finished.
+            for offset, fresh in enumerate(pool.imap(_sweep_worker_run, range(len(pending)))):
+                index = missing[offset]
+                results[index] = fresh
+                if result_store is not None and keys is not None:
+                    result_store.put(keys[index], fresh)
     elapsed = time.perf_counter() - start
+    final = [result for result in results if result is not None]
+    assert len(final) == len(job_list)
     return SweepOutcome(
         jobs=tuple(job_list),
-        results=tuple(results),
+        results=tuple(final),
         trace_name=trace.name if isinstance(trace, Trace) else "trace",
         workers=effective_workers,
         elapsed_seconds=elapsed,
+        cached_jobs=cached_jobs,
+        executed_jobs=len(missing),
     )

@@ -45,6 +45,15 @@ class EngineError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """The persistent result store is unusable or incompatible.
+
+    Raised when a store directory cannot be created, its schema version is
+    not understood, or an artifact cannot be written.  Unreadable artifacts
+    during lookup are *not* errors — they are treated as cache misses.
+    """
+
+
 class VerificationError(ReproError):
     """Cross-checking two simulators found differing hit/miss counts."""
 

@@ -1,0 +1,24 @@
+"""Persistent, content-addressed storage for simulation results.
+
+``open_store(path)`` opens (or creates) a directory of result artifacts
+keyed by ``(trace fingerprint, engine key, canonicalized options)``; the
+sweep orchestrator (:func:`repro.engine.sweep.run_sweep`) consults it to
+skip every cell that has already been simulated.  See
+:mod:`repro.store.resultstore` for the on-disk layout and durability rules.
+"""
+
+from repro.store.resultstore import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    StoreKey,
+    canonical_options_json,
+    open_store,
+)
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "StoreKey",
+    "canonical_options_json",
+    "open_store",
+]

@@ -11,6 +11,7 @@ is memoized so repeated runs stop re-converting the ndarray.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -73,6 +74,7 @@ class Trace:
         self._sizes.setflags(write=False)
         self._address_list_cache: Optional[List[int]] = None
         self._block_address_cache: Dict[int, np.ndarray] = {}
+        self._fingerprint_cache: Optional[str] = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -202,6 +204,29 @@ class Trace:
                 yield blocks, self._types[start:stop]
             else:
                 yield blocks
+
+    def fingerprint(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> str:
+        """Content digest of the trace (addresses, types and sizes).
+
+        A streaming SHA-256 over the packed arrays, fed ``chunk_size``
+        entries at a time so multi-hundred-million-access traces never need
+        a monolithic byte copy.  The digest covers content only — not the
+        trace's name — so renamed copies of the same access stream share one
+        fingerprint, which is what makes the persistent result store
+        content-addressed.  Memoized per instance (and kept through
+        pickling, so sweep workers inherit it for free).
+        """
+        if self._fingerprint_cache is None:
+            digest = hashlib.sha256()
+            digest.update(b"repro-trace-v1:")
+            digest.update(str(len(self)).encode("ascii"))
+            for array in (self._addresses, self._types, self._sizes):
+                digest.update(b"|" + array.dtype.str.encode("ascii") + b":")
+                for start in range(0, array.size, chunk_size):
+                    chunk = np.ascontiguousarray(array[start:start + chunk_size])
+                    digest.update(chunk.tobytes())
+            self._fingerprint_cache = digest.hexdigest()
+        return self._fingerprint_cache
 
     def unique_blocks(self, block_size: int) -> int:
         """Number of distinct blocks touched at the given block size."""

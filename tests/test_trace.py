@@ -125,3 +125,30 @@ class TestTraceBuilder:
         builder = TraceBuilder()
         with pytest.raises(TraceError):
             builder.add(-1)
+
+
+class TestTraceFingerprint:
+    def test_content_addressed_not_name_addressed(self):
+        trace = Trace([0, 16, 32], name="a")
+        assert trace.fingerprint() == trace.with_name("b").fingerprint()
+
+    def test_differs_on_any_column(self):
+        base = Trace([0, 16, 32])
+        assert base.fingerprint() != Trace([0, 16, 48]).fingerprint()
+        assert base.fingerprint() != Trace([0, 16, 32], [0, 1, 0]).fingerprint()
+        assert base.fingerprint() != Trace([0, 16, 32], sizes=[4, 8, 4]).fingerprint()
+
+    def test_chunk_size_does_not_change_digest(self):
+        trace = Trace(list(range(0, 4000, 4)))
+        assert trace.fingerprint(chunk_size=7) == Trace(list(range(0, 4000, 4))).fingerprint()
+
+    def test_memoized_and_survives_pickling(self):
+        import pickle
+
+        trace = Trace([0, 16, 32])
+        first = trace.fingerprint()
+        assert trace.fingerprint() is first
+        assert pickle.loads(pickle.dumps(trace)).fingerprint() == first
+
+    def test_empty_trace_has_a_fingerprint(self):
+        assert len(Trace.empty().fingerprint()) == 64
