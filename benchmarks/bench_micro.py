@@ -11,11 +11,15 @@ import time
 
 import pytest
 
+import numpy as np
+
 from repro.cache.simulator import SingleConfigSimulator
 from repro.core.config import CacheConfig
 from repro.core.dew import DewSimulator
-from repro.core.results import ConfigResult, ResultsFrame, SimulationResults
+from repro.core.results import POLICY_TABLE, ConfigResult, ResultsFrame, SimulationResults
 from repro.engine import build_grid_jobs, get_engine, merge_results, run_sweep
+from repro.explore.pareto import pareto_front_frame, size_missrate_front
+from repro.explore.tuner import CacheTuner
 from repro.lru.janapsatya import JanapsatyaSimulator
 from repro.store import open_store
 from repro.trace.stats import compute_trace_statistics
@@ -207,6 +211,117 @@ def test_micro_warm_sweep_beats_cold_sweep(tmp_path, micro_trace):
     assert warm_seconds < cold_seconds, (
         f"store-warmed sweep ({warm_seconds:.3f}s) should beat the "
         f"cold sweep ({cold_seconds:.3f}s)"
+    )
+
+
+def _exploration_frame(rows=10_000):
+    """A 10k-configuration frame with valid (power-of-two) geometries.
+
+    Misses follow a deterministic pseudo-random pattern so the Pareto front
+    and tuner have realistic (non-degenerate) work to do.
+    """
+    sets = [2**i for i in range(14)]
+    blocks = [4, 8, 16, 32, 64]
+    num_sets, block_sizes, assocs = [], [], []
+    assoc = 1
+    while len(num_sets) < rows:
+        for block in blocks:
+            for size in sets:
+                num_sets.append(size)
+                block_sizes.append(block)
+                assocs.append(assoc)
+        assoc += 1
+    num_sets, block_sizes, assocs = (
+        num_sets[:rows], block_sizes[:rows], assocs[:rows]
+    )
+    accesses = np.full(rows, 100_000, dtype=np.int64)
+    # Misses shrink with capacity (a real size/performance trade-off, so the
+    # front is non-trivial) plus deterministic pseudo-random noise.
+    total = (
+        np.asarray(num_sets, dtype=np.int64)
+        * np.asarray(assocs, dtype=np.int64)
+        * np.asarray(block_sizes, dtype=np.int64)
+    )
+    noise = (np.arange(rows, dtype=np.int64) * 2654435761) % 4_000
+    misses = np.maximum(60_000 - (2_000 * np.log2(total)).astype(np.int64), 500) + noise
+    fifo = POLICY_TABLE.index(ReplacementPolicy.FIFO.value)
+    return ResultsFrame(
+        num_sets, assocs, block_sizes, [fifo] * rows,
+        accesses, misses, np.zeros(rows, dtype=np.int64),
+    )
+
+
+def test_micro_frame_pareto_beats_object_path():
+    """pareto_front_frame must be >= 5x faster than the object-point path.
+
+    The object path is the legacy API shape: materialise one ConfigResult
+    and one ParetoPoint per row, then extract the front; the frame path
+    slices two metric columns and runs the numpy domination kernel with no
+    per-row objects.  Both must select exactly the same configurations in
+    the same order.
+    """
+    frame = _exploration_frame()
+    results = SimulationResults.from_frame(frame)
+
+    def time_object_path():
+        start = time.perf_counter()
+        front = size_missrate_front(results)
+        return time.perf_counter() - start, front
+
+    def time_frame_path():
+        start = time.perf_counter()
+        indices = pareto_front_frame(frame, ("total_size", "miss_rate"))
+        return time.perf_counter() - start, indices
+
+    object_seconds, object_front = min(
+        (time_object_path() for _ in range(3)), key=lambda pair: pair[0]
+    )
+    frame_seconds, frame_indices = min(
+        (time_frame_path() for _ in range(3)), key=lambda pair: pair[0]
+    )
+
+    assert [point.config for point in object_front] == [
+        frame.config_at(int(row)) for row in frame_indices
+    ]
+    assert frame_seconds * 5 <= object_seconds, (
+        f"frame Pareto ({frame_seconds:.4f}s) should be >= 5x faster than "
+        f"the object path ({object_seconds:.4f}s)"
+    )
+
+
+def test_micro_frame_tuner_beats_object_path():
+    """CacheTuner.tune_frame must be >= 5x faster than the object path.
+
+    The object path materialises every row as a ConfigResult and hands the
+    list to tune() (which must rebuild columnar form); the frame path masks
+    and argmins existing columns.  Both must pick the same configuration at
+    the same objective value.
+    """
+    frame = _exploration_frame()
+    tuner = CacheTuner(objective="edp")
+
+    def time_object_path():
+        start = time.perf_counter()
+        outcome = tuner.tune(list(frame))
+        return time.perf_counter() - start, outcome
+
+    def time_frame_path():
+        start = time.perf_counter()
+        outcome = tuner.tune_frame(frame)
+        return time.perf_counter() - start, outcome
+
+    object_seconds, object_outcome = min(
+        (time_object_path() for _ in range(3)), key=lambda pair: pair[0]
+    )
+    frame_seconds, frame_outcome = min(
+        (time_frame_path() for _ in range(3)), key=lambda pair: pair[0]
+    )
+
+    assert frame_outcome.best == object_outcome.best
+    assert frame_outcome.objective_value == object_outcome.objective_value
+    assert frame_seconds * 5 <= object_seconds, (
+        f"frame tuner ({frame_seconds:.4f}s) should be >= 5x faster than "
+        f"the object path ({object_seconds:.4f}s)"
     )
 
 

@@ -25,9 +25,9 @@ from repro.core.config import CacheConfig
 from repro.core.counters import DewCounters
 from repro.core.results import SimulationResults
 from repro.engine import build_grid_jobs, get_engine, run_sweep
-from repro.engine.sweep import SweepOutcome
+from repro.engine.sweep import SweepJob, SweepOutcome
 from repro.errors import VerificationError
-from repro.store import ResultStore, open_store
+from repro.store import ResultStore, StoreKey, open_store
 from repro.trace.trace import Trace
 from repro.types import ReplacementPolicy
 from repro.workloads.mediabench import MEDIABENCH_APPS, mediabench_trace, scaled_request_count
@@ -230,27 +230,85 @@ class ExperimentRunner:
 
     # -- one comparison cell ------------------------------------------------------
 
-    def run_cell(self, app: str, block_size: int, associativity: int) -> ExperimentCell:
-        """Run DEW and the baseline for one Table 3 cell and compare them."""
-        trace = self.trace_for(app)
-
-        dew = get_engine(
+    def _cell_keys(
+        self, trace: Trace, block_size: int, associativity: int
+    ) -> Tuple[Optional[StoreKey], Optional[StoreKey]]:
+        """Store keys of one cell's DEW and baseline halves (``None`` storeless)."""
+        store = self.store()
+        if store is None:
+            return None, None
+        fingerprint = trace.fingerprint()
+        dew_key = SweepJob.make(
             "dew",
             block_size=block_size,
             associativity=associativity,
-            set_sizes=self.set_sizes,
+            set_sizes=tuple(self.set_sizes),
+        ).store_key(fingerprint)
+        baseline_key = StoreKey.make(
+            fingerprint,
+            "dinero-baseline",
+            {
+                "block_size": block_size,
+                "associativity": associativity,
+                "set_sizes": tuple(self.set_sizes),
+            },
         )
-        dew_start = time.perf_counter()
-        dew_results = dew.run(trace)
-        dew_seconds = time.perf_counter() - dew_start
+        return dew_key, baseline_key
+
+    def run_cell(self, app: str, block_size: int, associativity: int) -> ExperimentCell:
+        """Run DEW and the baseline for one Table 3 cell and compare them.
+
+        With a configured result store both halves of the cell — the DEW
+        family pass *and* the Dinero-style baseline sweep — are routed
+        through it: cold cells persist their results (wall time and tag
+        comparison counters ride along in the artifact), warm reruns load
+        them and report the cold run's measured timings, so a repeated
+        Table 3 campaign is near-free and its cells are value-identical.
+        """
+        trace = self.trace_for(app)
+        store = self.store()
+        dew_key, baseline_key = self._cell_keys(trace, block_size, associativity)
+
+        dew_results = store.get(dew_key) if store is not None else None
+        if dew_results is None:
+            dew = get_engine(
+                "dew",
+                block_size=block_size,
+                associativity=associativity,
+                set_sizes=self.set_sizes,
+            )
+            dew_start = time.perf_counter()
+            dew_results = dew.run(trace)
+            dew_seconds = time.perf_counter() - dew_start
+            dew_results.elapsed_seconds = dew_seconds
+            if store is not None:
+                store.put(dew_key, dew_results)
+        dew_seconds = dew_results.elapsed_seconds
 
         baseline_configs = self._baseline_configs(block_size, associativity)
-        runner = DineroStyleRunner(baseline_configs)
-        baseline = runner.run(trace)
+        baseline_results = store.get(baseline_key) if store is not None else None
+        if baseline_results is None:
+            runner = DineroStyleRunner(baseline_configs)
+            baseline = runner.run(trace)
+            baseline_results = SimulationResults.from_stats(
+                baseline.stats,
+                elapsed_seconds=baseline.elapsed_seconds,
+                simulator_name="dinero",
+                trace_name=trace.name,
+            )
+            # The artifact's counters carry the baseline's aggregate tag
+            # comparisons so warm cells report the cold run's measurement.
+            baseline_results.counters = DewCounters(
+                requests=len(trace), tag_comparisons=baseline.total_tag_comparisons
+            )
+            if store is not None:
+                store.put(baseline_key, baseline_results)
 
         exact = True
         if self.verify:
-            exact = self._verify(dew_results, baseline.stats)
+            exact = self._verify(
+                dew_results, {result.config: result for result in baseline_results}
+            )
 
         return ExperimentCell(
             app=app,
@@ -258,9 +316,9 @@ class ExperimentRunner:
             associativity=associativity,
             requests=len(trace),
             dew_seconds=dew_seconds,
-            dinero_seconds=baseline.elapsed_seconds,
-            dew_comparisons=dew.counters.tag_comparisons,
-            dinero_comparisons=baseline.total_tag_comparisons,
+            dinero_seconds=baseline_results.elapsed_seconds,
+            dew_comparisons=dew_results.counters.tag_comparisons,
+            dinero_comparisons=baseline_results.counters.tag_comparisons,
             configs_simulated=len(baseline_configs),
             exact_match=exact,
         )

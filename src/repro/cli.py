@@ -20,6 +20,12 @@ Installed as ``repro-dew``.  Subcommands:
     output with a stable sort order.
 ``verify``
     Cross-check DEW against the reference simulator on a trace.
+``store``
+    Manage a persistent result store: ``store ls`` (inventory), ``store
+    verify`` (re-hash every artifact, report corrupt/mis-addressed files),
+    ``store gc`` (collect garbage, optionally keeping only listed trace
+    fingerprints) and ``store export`` / ``store import`` (manifest-based,
+    rsync-able cross-machine sharing).
 ``reproduce``
     Regenerate the paper's tables and figures (scaled-down traces).
 
@@ -32,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import gzip
+import json
 import os
 import sys
 from typing import List, Optional, Sequence
@@ -43,8 +50,15 @@ from repro.bench.tables import format_table1, format_table2, format_table3, form
 from repro.cache.dinero import DineroStyleRunner
 from repro.core.config import CacheConfig
 from repro.engine import build_grid_jobs, get_engine, run_sweep
-from repro.errors import ConfigurationError, ReproError, TraceError
+from repro.errors import ConfigurationError, ReproError, StoreError, TraceError
 from repro.store import open_store
+from repro.store.manage import (
+    DEFAULT_MANIFEST_NAME,
+    export_store,
+    gc_store,
+    import_store,
+    verify_store,
+)
 from repro.trace.din import read_din, write_din
 from repro.trace.textio import read_text_trace, write_text_trace
 from repro.trace.trace import Trace
@@ -178,6 +192,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_existing_store(path: str):
+    """Open a store that must already exist.
+
+    Management commands are read-only (or destructive) over an *existing*
+    store; silently creating an empty store at a mistyped path and reporting
+    it clean would be worse than an error.  ``store import`` is the one
+    command allowed to create its destination.
+    """
+    if not os.path.isfile(os.path.join(path, "store.json")):
+        raise StoreError(
+            f"no result store at {path} "
+            f"(create one with 'sweep --store {path}' or 'store import')"
+        )
+    return open_store(path)
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    store = _open_existing_store(args.store_dir)
+    report = verify_store(store)
+    if args.format == "json":
+        print(json.dumps(
+            [record.as_dict(root=store.root) for record in report.records], indent=2
+        ))
+        return 0
+    artifacts = [record for record in report.records if record.status == "ok"]
+    traces = sorted({record.trace_fingerprint for record in artifacts})
+    total_bytes = sum(record.size_bytes for record in artifacts)
+    print(
+        f"store {args.store_dir}: {len(artifacts)} artifact(s), "
+        f"{len(traces)} trace(s), {total_bytes:,} bytes"
+    )
+    for record in report.records:
+        if record.status == "ok":
+            print(
+                f"  {record.digest[:12]}  {record.engine:<12} "
+                f"trace={record.trace_fingerprint[:12]}  rows={record.rows:<5} "
+                f"{record.size_bytes:,} B"
+            )
+        else:
+            print(f"  [{record.status}] {record.path}  ({record.detail})")
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    report = verify_store(_open_existing_store(args.store_dir))
+    print(report.summary())
+    for record in report.problems:
+        print(f"  [{record.status}] {record.path}: {record.detail}")
+    return 0 if report.clean else 1
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    keep = None
+    if args.keep_fingerprints is not None:
+        keep = [token.strip() for token in args.keep_fingerprints.split(",") if token.strip()]
+    report = gc_store(_open_existing_store(args.store_dir), keep_fingerprints=keep,
+                      dry_run=args.dry_run)
+    print(report.summary())
+    for record in report.removed:
+        print(f"  [{record.status}] {record.path}")
+    for prefix in report.unmatched_keeps:
+        print(
+            f"warning: keep fingerprint {prefix!r} matched no artifact",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_store_export(args: argparse.Namespace) -> int:
+    store = _open_existing_store(args.store_dir)
+    manifest = args.manifest or os.path.join(args.store_dir, DEFAULT_MANIFEST_NAME)
+    payload = export_store(store, manifest)
+    print(f"exported {len(payload['artifacts'])} artifact(s) to {manifest}")
+    return 0
+
+
+def _cmd_store_import(args: argparse.Namespace) -> int:
+    report = import_store(open_store(args.store_dir), args.manifest)
+    print(report.summary())
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     report = cross_check(trace, args.block_size, args.associativity, _set_sizes(args.max_sets))
@@ -267,6 +363,46 @@ def build_parser() -> argparse.ArgumentParser:
     verify = subparsers.add_parser("verify", help="cross-check DEW against the reference simulator")
     add_family_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    store = subparsers.add_parser("store", help="inspect and manage a persistent result store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_ls = store_sub.add_parser("ls", help="list the store's artifacts")
+    store_ls.add_argument("store_dir", help="result store directory")
+    store_ls.add_argument("--format", choices=("text", "json"), default="text",
+                          help="output format")
+    store_ls.set_defaults(func=_cmd_store_ls)
+
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="re-read every artifact and re-derive its content address; "
+             "report corrupt/mis-addressed files")
+    store_verify.add_argument("store_dir", help="result store directory")
+    store_verify.set_defaults(func=_cmd_store_verify)
+
+    store_gc = store_sub.add_parser(
+        "gc", help="remove temp files, corrupt artifacts and (with a keep-list) other traces")
+    store_gc.add_argument("store_dir", help="result store directory")
+    store_gc.add_argument("--keep-fingerprints", default=None, metavar="FP[,FP...]",
+                          help="comma-separated trace fingerprint prefixes to keep "
+                               "(as printed by 'store ls'); every valid artifact "
+                               "matching none of them is removed")
+    store_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed without deleting anything")
+    store_gc.set_defaults(func=_cmd_store_gc)
+
+    store_export = store_sub.add_parser(
+        "export", help="write a manifest describing every valid artifact")
+    store_export.add_argument("store_dir", help="result store directory")
+    store_export.add_argument("manifest", nargs="?", default=None,
+                              help=f"manifest path (default: <store>/{DEFAULT_MANIFEST_NAME})")
+    store_export.set_defaults(func=_cmd_store_export)
+
+    store_import = store_sub.add_parser(
+        "import", help="install the artifacts listed in an export manifest")
+    store_import.add_argument("store_dir", help="destination result store directory")
+    store_import.add_argument("manifest", help="manifest written by 'store export'")
+    store_import.set_defaults(func=_cmd_store_import)
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's tables and figures")
     reproduce.add_argument("--requests", type=int, default=None,

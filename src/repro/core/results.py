@@ -298,6 +298,60 @@ class ResultsFrame:
         np.divide(self.misses, self.accesses, out=rates, where=populated)
         return rates
 
+    def total_sizes(self) -> np.ndarray:
+        """Per-row total capacity in bytes (``S * A * B``)."""
+        return self.num_sets * self.associativities * self.block_sizes
+
+    #: Metric names accepted by :meth:`metric_column`.
+    METRIC_NAMES: Tuple[str, ...] = (
+        "num_sets",
+        "associativity",
+        "block_size",
+        "total_size",
+        "accesses",
+        "misses",
+        "hits",
+        "compulsory_misses",
+        "miss_rate",
+        "hit_rate",
+    )
+
+    def metric_column(self, name: str) -> np.ndarray:
+        """A named per-row metric as one numpy column.
+
+        This is the accessor the frame-native exploration layer (Pareto
+        fronts, energy model, tuner) builds its metric matrices from, so no
+        per-row :class:`ConfigResult` objects appear on those hot paths.
+        Supported names are listed in :attr:`METRIC_NAMES`; unknown names
+        raise :class:`~repro.errors.SimulationError`.
+        """
+        if name == "num_sets":
+            return self.num_sets
+        if name == "associativity":
+            return self.associativities
+        if name == "block_size":
+            return self.block_sizes
+        if name == "total_size":
+            return self.total_sizes()
+        if name == "accesses":
+            return self.accesses
+        if name == "misses":
+            return self.misses
+        if name == "hits":
+            return self.hits
+        if name == "compulsory_misses":
+            return self.compulsory
+        if name == "miss_rate":
+            return self.miss_rate_column()
+        if name == "hit_rate":
+            rates = np.zeros(len(self), dtype=np.float64)
+            populated = self.accesses > 0
+            np.subtract(1.0, self.miss_rate_column(), out=rates, where=populated)
+            return rates
+        raise SimulationError(
+            f"unknown metric column {name!r}; expected one of {self.METRIC_NAMES}"
+        )
+
     def direct_mapped(self) -> "ResultsFrame":
         """The associativity-1 rows (DEW's free by-products) as a sub-frame."""
         return self.select(self.associativities == 1)

@@ -39,7 +39,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import CacheConfig
-from repro.core.results import SimulationResults
+from repro.core.results import ResultsFrame, SimulationResults
 from repro.engine.base import Engine, get_engine
 from repro.errors import EngineError, VerificationError
 from repro.store import ResultStore, StoreKey, open_store
@@ -226,10 +226,33 @@ class SweepOutcome:
     _merged: Optional[SimulationResults] = field(default=None, repr=False)
 
     def merged(self) -> SimulationResults:
-        """All configurations of the sweep in one deterministic container."""
+        """All configurations of the sweep in one deterministic container.
+
+        Merging happens columnar-side (:meth:`ResultsFrame.merge` over the
+        per-job frames) and the outcome is a frame-backed view, so no
+        per-row objects are materialised until a caller iterates; rows,
+        conflict checking and summed elapsed time are identical to the
+        object-level :func:`merge_results`.
+        """
         if self._merged is None:
-            self._merged = merge_results(self.results, trace_name=self.trace_name)
+            merged_frame = ResultsFrame.merge(
+                [results.frame() for results in self.results],
+                simulator_name="sweep",
+                trace_name=self.trace_name,
+            )
+            self._merged = SimulationResults.from_frame(merged_frame)
         return self._merged
+
+    def frame(self) -> ResultsFrame:
+        """The merged sweep results in columnar form (cached via :meth:`merged`).
+
+        This is the hand-off point to the frame-native exploration layer:
+        ``outcome.frame()`` feeds straight into
+        :func:`repro.explore.pareto.pareto_front_frame` and
+        :meth:`repro.explore.tuner.CacheTuner.tune_frame` without building
+        a single :class:`~repro.core.results.ConfigResult`.
+        """
+        return self.merged().frame()
 
     def as_rows(self) -> List[Dict[str, object]]:
         """Deterministic per-configuration rows (no timing fields).

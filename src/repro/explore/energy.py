@@ -14,16 +14,25 @@ The default coefficients follow the usual first-order scaling arguments:
 * leakage power is proportional to capacity;
 * a miss costs a main-memory access plus a line refill proportional to the
   block size.
+
+The model is frame-native: :meth:`EnergyModel.estimate_frame` computes
+energy and access-time *columns* over a whole
+:class:`~repro.core.results.ResultsFrame` in one shot of numpy array
+operations, and the per-result :meth:`EnergyModel.estimate` is a thin
+wrapper over the same kernel (one-row arrays), so both paths produce
+bit-identical numbers.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
+
+import numpy as np
 
 from repro.core.config import CacheConfig
-from repro.core.results import ConfigResult
+from repro.core.results import ConfigResult, ResultsFrame
 from repro.errors import ExplorationError
 
 
@@ -53,6 +62,43 @@ class EnergyEstimate:
             "total_energy_nj": self.total_energy_nj,
             "average_access_time_ns": self.average_access_time_ns,
         }
+
+
+@dataclass(frozen=True, eq=False)
+class FrameEnergyEstimate:
+    """Per-row energy/latency columns for one whole results frame.
+
+    Every field is a numpy array parallel to the frame's rows; no per-row
+    Python objects exist until a caller asks for one via :meth:`estimate_at`.
+    The columns plug directly into
+    :func:`~repro.explore.pareto.pareto_front_frame` metric matrices and
+    the tuner's constraint masks.  Equality/hashing are object identity
+    (``eq=False``): a generated ``__eq__`` over array fields would raise on
+    truth-value ambiguity; compare the column arrays directly instead.
+    """
+
+    frame: ResultsFrame
+    hit_energy_nj: np.ndarray
+    miss_energy_nj: np.ndarray
+    leakage_nj: np.ndarray
+    total_energy_nj: np.ndarray
+    average_access_time_ns: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.frame)
+
+    def estimate_at(self, row: int) -> EnergyEstimate:
+        """Materialise the object-level estimate for one frame row."""
+        return EnergyEstimate(
+            config=self.frame.config_at(row),
+            accesses=int(self.frame.accesses[row]),
+            misses=int(self.frame.misses[row]),
+            hit_energy_nj=float(self.hit_energy_nj[row]),
+            miss_energy_nj=float(self.miss_energy_nj[row]),
+            leakage_nj=float(self.leakage_nj[row]),
+            total_energy_nj=float(self.total_energy_nj[row]),
+            average_access_time_ns=float(self.average_access_time_ns[row]),
+        )
 
 
 class EnergyModel:
@@ -125,32 +171,86 @@ class EnergyModel:
             + 0.05 * math.log2(max(config.associativity, 1))
         )
 
+    # -- vectorised kernel -------------------------------------------------------
+
+    def _estimate_columns(
+        self,
+        total_sizes: np.ndarray,
+        associativities: np.ndarray,
+        block_sizes: np.ndarray,
+        accesses: np.ndarray,
+        misses: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """All energy/latency columns from raw per-row arrays, in one shot."""
+        total = np.asarray(total_sizes, dtype=np.float64)
+        ways = np.asarray(associativities, dtype=np.float64)
+        blocks = np.asarray(block_sizes, dtype=np.float64)
+        accesses = np.asarray(accesses, dtype=np.float64)
+        misses = np.asarray(misses, dtype=np.float64)
+        capacity = np.maximum(total, 1.0)
+        capacity_scale = (capacity / self.reference_capacity) ** self.capacity_exponent
+        associativity_scale = 1.0 + self.associativity_factor * (ways - 1.0)
+        hit_energy = self.base_hit_energy_nj * capacity_scale * associativity_scale * accesses
+        miss_energy = (self.miss_energy_nj + self.refill_energy_per_byte_nj * blocks) * misses
+        runtime_ns = accesses * self.cycle_time_ns + misses * self.miss_penalty_ns
+        leakage = self.leakage_nw_per_byte * total * runtime_ns * 1e-9
+        total_energy = hit_energy + miss_energy + leakage
+        access_time = self.hit_time_ns * (
+            1.0
+            + 0.08 * np.log2(capacity)
+            + 0.05 * np.log2(np.maximum(ways, 1.0))
+        )
+        populated = accesses > 0
+        miss_rate = np.zeros(accesses.shape, dtype=np.float64)
+        np.divide(misses, accesses, out=miss_rate, where=populated)
+        average_time = np.where(
+            populated, access_time + miss_rate * self.miss_penalty_ns, 0.0
+        )
+        return hit_energy, miss_energy, leakage, total_energy, average_time
+
+    def estimate_frame(self, frame: ResultsFrame) -> FrameEnergyEstimate:
+        """Energy/latency columns for every row of ``frame`` at once."""
+        hit_energy, miss_energy, leakage, total_energy, average_time = self._estimate_columns(
+            frame.total_sizes(),
+            frame.associativities,
+            frame.block_sizes,
+            frame.accesses,
+            frame.misses,
+        )
+        return FrameEnergyEstimate(
+            frame=frame,
+            hit_energy_nj=hit_energy,
+            miss_energy_nj=miss_energy,
+            leakage_nj=leakage,
+            total_energy_nj=total_energy,
+            average_access_time_ns=average_time,
+        )
+
     # -- per-workload estimate ---------------------------------------------------
 
     def estimate(self, result: ConfigResult) -> EnergyEstimate:
-        """Estimate energy and average access time for one simulated result."""
+        """Estimate energy and average access time for one simulated result.
+
+        Thin wrapper over the vectorised kernel (one-row arrays), so the
+        scalar and frame paths agree bit-for-bit.
+        """
         config = result.config
-        hit_energy = self.hit_energy_nj(config) * result.accesses
-        miss_energy = self.miss_cost_nj(config) * result.misses
-        runtime_ns = result.accesses * self.cycle_time_ns + result.misses * self.miss_penalty_ns
-        leakage = self.leakage_nw_per_byte * config.total_size * runtime_ns * 1e-9
-        total = hit_energy + miss_energy + leakage
-        if result.accesses:
-            average_time = (
-                self.access_time_ns(config)
-                + result.miss_rate * self.miss_penalty_ns
-            )
-        else:
-            average_time = 0.0
+        hit_energy, miss_energy, leakage, total_energy, average_time = self._estimate_columns(
+            np.array([config.total_size]),
+            np.array([config.associativity]),
+            np.array([config.block_size]),
+            np.array([result.accesses]),
+            np.array([result.misses]),
+        )
         return EnergyEstimate(
             config=config,
             accesses=result.accesses,
             misses=result.misses,
-            hit_energy_nj=hit_energy,
-            miss_energy_nj=miss_energy,
-            leakage_nj=leakage,
-            total_energy_nj=total,
-            average_access_time_ns=average_time,
+            hit_energy_nj=float(hit_energy[0]),
+            miss_energy_nj=float(miss_energy[0]),
+            leakage_nj=float(leakage[0]),
+            total_energy_nj=float(total_energy[0]),
+            average_access_time_ns=float(average_time[0]),
         )
 
     def estimate_all(self, results) -> Dict[CacheConfig, EnergyEstimate]:

@@ -3,15 +3,31 @@
 Cache tuning is inherently multi-objective: capacity (cost/area), miss rate
 (performance) and energy pull in different directions.  The helpers here
 compute the set of configurations not dominated in any requested metric.
+
+The hot path is frame-native: :func:`pareto_front_frame` builds a
+``(rows x metrics)`` matrix straight from a
+:class:`~repro.core.results.ResultsFrame`'s columns and finds the
+non-dominated rows with :func:`pareto_mask`, a numpy kernel whose pairwise
+comparisons are broadcast array operations — no :class:`ParetoPoint` objects
+are materialised.  The object-based API (:func:`pareto_front` and friends) is
+kept as a thin wrapper that packs point metrics into the same matrix and
+delegates to the same kernel, so both paths agree exactly (including on
+duplicate-metric ties and output order).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.config import CacheConfig
+from repro.core.results import ResultsFrame
 from repro.errors import ExplorationError
+
+#: Default metric pair of the classic capacity-vs-performance front.
+DEFAULT_METRICS: Tuple[str, ...] = ("total_size", "miss_rate")
 
 
 @dataclass(frozen=True)
@@ -34,20 +50,147 @@ class ParetoPoint:
         return no_worse and strictly_better
 
 
+def _pareto_mask_2d(values: np.ndarray) -> np.ndarray:
+    """Exact two-metric front in O(n log n): lexsort plus a running minimum.
+
+    After sorting by ``(metric0, metric1)`` ascending, a row is dominated
+    exactly when an earlier group (strictly smaller metric0) reaches a
+    metric1 no larger than its own, or when its own metric0 group contains a
+    strictly smaller metric1 (the group head).  Rows with identical metric
+    pairs share a group head, so exact duplicates all survive.
+    """
+    rows = values.shape[0]
+    order = np.lexsort((values[:, 1], values[:, 0]))
+    sorted0 = values[order, 0]
+    sorted1 = values[order, 1]
+    new_group = np.empty(rows, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted0[1:], sorted0[:-1], out=new_group[1:])
+    group_ids = np.cumsum(new_group) - 1
+    starts = np.flatnonzero(new_group)
+    running_min1 = np.minimum.accumulate(sorted1)
+    # Best metric1 seen in groups strictly before each group's start.
+    before_group = np.concatenate(([np.inf], running_min1[starts[1:] - 1]))[group_ids]
+    head1 = sorted1[starts][group_ids]
+    dominated_sorted = (before_group <= sorted1) | (sorted1 > head1)
+    mask = np.empty(rows, dtype=bool)
+    mask[order] = ~dominated_sorted
+    return mask
+
+
+def _pareto_mask_pairwise(values: np.ndarray) -> np.ndarray:
+    """General-arity kernel: pairwise comparisons as broadcast array ops.
+
+    Each surviving candidate row is compared against every still-alive row
+    at once, and the rows it dominates are dropped before the next candidate
+    is examined.  Dominance is transitive, so every dominated row is
+    eliminated by the time the scan finishes; the worst case (an
+    all-non-dominated input) degrades gracefully to the full O(n^2)
+    comparison sweep, still vectorised.
+    """
+    total_rows = values.shape[0]
+    alive = np.arange(total_rows)
+    position = 0
+    while position < len(values):
+        reference = values[position]
+        dominated = np.all(values >= reference, axis=1) & np.any(values > reference, axis=1)
+        keep = ~dominated
+        alive = alive[keep]
+        values = values[keep]
+        position = int(np.count_nonzero(keep[:position])) + 1
+    mask = np.zeros(total_rows, dtype=bool)
+    mask[alive] = True
+    return mask
+
+
+def pareto_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of a ``(rows x metrics)`` matrix.
+
+    All metrics are lower-is-better.  Row ``j`` is dominated when some row
+    ``i`` satisfies ``all(values[i] <= values[j])`` and
+    ``any(values[i] < values[j])`` — rows with identical metrics therefore
+    never dominate each other, so exact duplicates all stay on the front,
+    matching :meth:`ParetoPoint.dominates`.
+
+    The common two-metric case (the default size/miss-rate front) runs the
+    O(n log n) sort-and-scan kernel; any other arity uses the broadcast
+    pairwise kernel.  Both are exact and agree with the object-level
+    domination semantics.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ExplorationError(
+            f"pareto_mask expects a (rows x metrics) matrix, got shape {values.shape}"
+        )
+    if values.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    if values.shape[1] == 2:
+        return _pareto_mask_2d(values)
+    return _pareto_mask_pairwise(values)
+
+
+def metric_matrix(
+    frame: ResultsFrame,
+    metrics: Sequence[Union[str, np.ndarray]] = DEFAULT_METRICS,
+) -> np.ndarray:
+    """Stack frame metric columns into the ``(rows x metrics)`` matrix.
+
+    Each entry of ``metrics`` is either a column name understood by
+    :meth:`~repro.core.results.ResultsFrame.metric_column` or a ready-made
+    per-row array (e.g. an energy column from
+    :meth:`~repro.explore.energy.EnergyModel.estimate_frame`) — so custom
+    lower-is-better metrics mix freely with the built-in ones.
+    """
+    columns = []
+    for metric in metrics:
+        if isinstance(metric, str):
+            column = frame.metric_column(metric)
+        else:
+            column = np.asarray(metric, dtype=np.float64)
+        if column.ndim != 1 or column.shape[0] != len(frame):
+            raise ExplorationError(
+                f"metric column has shape {column.shape}, expected ({len(frame)},)"
+            )
+        columns.append(column.astype(np.float64, copy=False))
+    if not columns:
+        return np.empty((len(frame), 0), dtype=np.float64)
+    return np.stack(columns, axis=1)
+
+
+def pareto_front_frame(
+    frame: ResultsFrame,
+    metrics: Sequence[Union[str, np.ndarray]] = DEFAULT_METRICS,
+) -> np.ndarray:
+    """Row indices of the frame's non-dominated rows (ascending, stable).
+
+    The returned indices are in the frame's canonical row order, so slicing
+    any frame column with them yields the front without materialising a
+    single per-row object; ``frame.select(mask)`` with the equivalent mask
+    produces a front sub-frame.
+    """
+    return np.flatnonzero(pareto_mask(metric_matrix(frame, metrics)))
+
+
 def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
-    """Return the non-dominated subset of ``points`` (stable order)."""
-    front: List[ParetoPoint] = []
-    for candidate in points:
-        dominated = False
-        for other in points:
-            if other is candidate:
-                continue
-            if other.dominates(candidate):
-                dominated = True
-                break
-        if not dominated:
-            front.append(candidate)
-    return front
+    """Return the non-dominated subset of ``points`` (stable order).
+
+    Delegates to the same numpy kernel as :func:`pareto_front_frame` (the
+    historical Python loop had an early-exit asymmetry that made it O(n^2)
+    even on easy inputs); output order and tie handling are unchanged —
+    surviving points keep their input order, and points with identical
+    metrics all survive.
+    """
+    point_list = list(points)
+    if not point_list:
+        return []
+    arity = len(point_list[0].metrics)
+    for point in point_list:
+        if len(point.metrics) != arity:
+            raise ExplorationError("Pareto points must have the same number of metrics")
+    values = np.asarray([point.metrics for point in point_list], dtype=np.float64)
+    values = values.reshape(len(point_list), arity)
+    mask = pareto_mask(values)
+    return [point for point, keep in zip(point_list, mask) if keep]
 
 
 def pareto_front_from_results(

@@ -4,17 +4,29 @@
 run DEW once per (block size, associativity) family, hand the combined
 results to the tuner together with area/performance/energy constraints, and
 get back the configuration an embedded designer would pick.
+
+The tuner is frame-native: :meth:`CacheTuner.tune_frame` and
+:meth:`CacheTuner.rank_frame` evaluate constraints as boolean masks over
+:class:`~repro.core.results.ResultsFrame` columns and pick winners with
+vectorised argmin/lexsort — no per-row :class:`ConfigResult` or
+:class:`EnergyEstimate` objects exist until the chosen rows are
+materialised.  The object-based :meth:`CacheTuner.tune`/:meth:`CacheTuner.rank`
+APIs are thin wrappers that coerce their input to a frame and delegate;
+ties on (objective value, total size) resolve toward the frame's canonical
+row order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
 
 from repro.core.config import CacheConfig
-from repro.core.results import ConfigResult, SimulationResults
+from repro.core.results import ConfigResult, ResultsFrame, SimulationResults
 from repro.errors import ExplorationError
-from repro.explore.energy import EnergyEstimate, EnergyModel
+from repro.explore.energy import EnergyEstimate, EnergyModel, FrameEnergyEstimate
 
 
 @dataclass(frozen=True)
@@ -48,6 +60,23 @@ class TuningConstraints:
             return False
         return True
 
+    def admit_mask(self, frame: ResultsFrame, energy: FrameEnergyEstimate) -> np.ndarray:
+        """Per-row admissibility of a whole frame as one boolean mask."""
+        mask = np.ones(len(frame), dtype=bool)
+        if self.max_total_size is not None:
+            mask &= frame.total_sizes() <= self.max_total_size
+        if self.max_miss_rate is not None:
+            mask &= frame.miss_rate_column() <= self.max_miss_rate
+        if self.max_energy_nj is not None:
+            mask &= energy.total_energy_nj <= self.max_energy_nj
+        if self.max_average_access_time_ns is not None:
+            mask &= energy.average_access_time_ns <= self.max_average_access_time_ns
+        if self.min_associativity is not None:
+            mask &= frame.associativities >= self.min_associativity
+        if self.max_associativity is not None:
+            mask &= frame.associativities <= self.max_associativity
+        return mask
+
 
 @dataclass(frozen=True)
 class TuningOutcome:
@@ -71,6 +100,31 @@ class TuningOutcome:
             "candidates_considered": self.candidates_considered,
             "candidates_admitted": self.candidates_admitted,
         }
+
+
+def _coerce_frame(
+    results: Union[ResultsFrame, SimulationResults, Iterable[ConfigResult]],
+) -> ResultsFrame:
+    """A columnar view of any results-like input (no copy when already framed).
+
+    Plain iterables may repeat a configuration — e.g. two concatenated
+    result lists sharing DEW's free direct-mapped rows, which the historical
+    object loop simply iterated over.  Exact duplicates are collapsed;
+    duplicates that disagree on their counts are ambiguous and raise
+    :class:`~repro.errors.ExplorationError`.
+    """
+    if isinstance(results, ResultsFrame):
+        return results
+    if isinstance(results, SimulationResults):
+        return results.frame()
+    unique: Dict[CacheConfig, ConfigResult] = {}
+    for result in results:
+        previous = unique.setdefault(result.config, result)
+        if previous is not result and previous != result:
+            raise ExplorationError(
+                f"conflicting duplicate results for {result.config.label()}"
+            )
+    return ResultsFrame.from_results(unique.values())
 
 
 class CacheTuner:
@@ -97,87 +151,120 @@ class CacheTuner:
         self.energy_model = energy_model or EnergyModel()
         self.objective = objective
 
+    def _objective_column(self, frame: ResultsFrame, energy: FrameEnergyEstimate) -> np.ndarray:
+        if self.objective == "misses":
+            return frame.misses.astype(np.float64)
+        if self.objective == "energy":
+            return energy.total_energy_nj
+        if self.objective == "amat":
+            return energy.average_access_time_ns
+        # Energy-delay product: energy x total run time (in arbitrary but
+        # consistent units).
+        runtime = frame.accesses * energy.average_access_time_ns
+        return energy.total_energy_nj * runtime
+
     def _objective_value(self, result: ConfigResult, estimate: EnergyEstimate) -> float:
+        """Scalar objective for one result (kept for API compatibility)."""
         if self.objective == "misses":
             return float(result.misses)
         if self.objective == "energy":
             return estimate.total_energy_nj
         if self.objective == "amat":
             return estimate.average_access_time_ns
-        # Energy-delay product: energy x total run time (in arbitrary but
-        # consistent units).
         runtime = result.accesses * estimate.average_access_time_ns
         return estimate.total_energy_nj * runtime
 
+    def _admitted_order(
+        self,
+        frame: ResultsFrame,
+        constraints: TuningConstraints,
+    ):
+        """Shared mask/sort machinery behind tune_frame and rank_frame.
+
+        Returns ``(energy, admitted_rows, objective, order)`` where ``order``
+        sorts the admitted rows by (objective, total size, row index).
+        """
+        energy = self.energy_model.estimate_frame(frame)
+        mask = constraints.admit_mask(frame, energy)
+        rows = np.flatnonzero(mask)
+        objective = self._objective_column(frame, energy)[rows]
+        sizes = frame.total_sizes()[rows]
+        order = np.lexsort((rows, sizes, objective))
+        return energy, rows, objective, order
+
+    def tune_frame(
+        self,
+        frame: ResultsFrame,
+        constraints: Optional[TuningConstraints] = None,
+    ) -> TuningOutcome:
+        """Pick the admissible row minimising the objective, frame-natively.
+
+        Raises :class:`~repro.errors.ExplorationError` when no row satisfies
+        the constraints.
+        """
+        constraints = constraints or TuningConstraints()
+        energy, rows, objective, order = self._admitted_order(frame, constraints)
+        if rows.size == 0:
+            raise ExplorationError("no configuration satisfies the tuning constraints")
+        winner = int(order[0])
+        best_row = int(rows[winner])
+        return TuningOutcome(
+            best=frame.result_at(best_row),
+            estimate=energy.estimate_at(best_row),
+            objective_value=float(objective[winner]),
+            candidates_considered=len(frame),
+            candidates_admitted=int(rows.size),
+        )
+
+    def rank_frame(
+        self,
+        frame: ResultsFrame,
+        constraints: Optional[TuningConstraints] = None,
+        top: int = 10,
+    ) -> List[TuningOutcome]:
+        """The ``top`` admissible rows ordered by the objective, frame-natively."""
+        constraints = constraints or TuningConstraints()
+        energy, rows, objective, order = self._admitted_order(frame, constraints)
+        outcomes = []
+        for position in order[: max(top, 0)]:
+            row = int(rows[int(position)])
+            outcomes.append(
+                TuningOutcome(
+                    best=frame.result_at(row),
+                    estimate=energy.estimate_at(row),
+                    objective_value=float(objective[int(position)]),
+                    candidates_considered=len(frame),
+                    candidates_admitted=int(rows.size),
+                )
+            )
+        return outcomes
+
     def tune(
         self,
-        results: Iterable[ConfigResult],
+        results: Union[ResultsFrame, SimulationResults, Iterable[ConfigResult]],
         constraints: Optional[TuningConstraints] = None,
     ) -> TuningOutcome:
         """Pick the admissible configuration minimising the objective.
 
-        Raises :class:`~repro.errors.ExplorationError` when no configuration
+        Thin wrapper: coerces ``results`` to a columnar frame and delegates
+        to :meth:`tune_frame`.  Raises
+        :class:`~repro.errors.ExplorationError` when no configuration
         satisfies the constraints.
         """
-        constraints = constraints or TuningConstraints()
-        best: Optional[TuningOutcome] = None
-        considered = 0
-        admitted = 0
-        for result in results:
-            considered += 1
-            estimate = self.energy_model.estimate(result)
-            if not constraints.admits(result, estimate):
-                continue
-            admitted += 1
-            value = self._objective_value(result, estimate)
-            if (
-                best is None
-                or value < best.objective_value
-                or (value == best.objective_value and result.config.total_size < best.best.config.total_size)
-            ):
-                best = TuningOutcome(
-                    best=result,
-                    estimate=estimate,
-                    objective_value=value,
-                    candidates_considered=considered,
-                    candidates_admitted=admitted,
-                )
-        if best is None:
-            raise ExplorationError("no configuration satisfies the tuning constraints")
-        return TuningOutcome(
-            best=best.best,
-            estimate=best.estimate,
-            objective_value=best.objective_value,
-            candidates_considered=considered,
-            candidates_admitted=admitted,
-        )
+        return self.tune_frame(_coerce_frame(results), constraints=constraints)
 
     def rank(
         self,
-        results: Iterable[ConfigResult],
+        results: Union[ResultsFrame, SimulationResults, Iterable[ConfigResult]],
         constraints: Optional[TuningConstraints] = None,
         top: int = 10,
     ) -> List[TuningOutcome]:
-        """Return the ``top`` admissible configurations ordered by the objective."""
-        constraints = constraints or TuningConstraints()
-        outcomes: List[TuningOutcome] = []
-        considered = 0
-        for result in results:
-            considered += 1
-            estimate = self.energy_model.estimate(result)
-            if not constraints.admits(result, estimate):
-                continue
-            outcomes.append(
-                TuningOutcome(
-                    best=result,
-                    estimate=estimate,
-                    objective_value=self._objective_value(result, estimate),
-                    candidates_considered=considered,
-                    candidates_admitted=len(outcomes) + 1,
-                )
-            )
-        outcomes.sort(key=lambda outcome: (outcome.objective_value, outcome.best.config.total_size))
-        return outcomes[:top]
+        """Return the ``top`` admissible configurations ordered by the objective.
+
+        Thin wrapper over :meth:`rank_frame`; every outcome reports the full
+        considered/admitted totals.
+        """
+        return self.rank_frame(_coerce_frame(results), constraints=constraints, top=top)
 
 
 def tune_from_results(
@@ -188,4 +275,4 @@ def tune_from_results(
 ) -> TuningOutcome:
     """One-call convenience wrapper around :class:`CacheTuner`."""
     tuner = CacheTuner(energy_model=energy_model, objective=objective)
-    return tuner.tune(list(results), constraints=constraints)
+    return tuner.tune(results, constraints=constraints)

@@ -4,9 +4,24 @@
 keyed by ``(trace fingerprint, engine key, canonicalized options)``; the
 sweep orchestrator (:func:`repro.engine.sweep.run_sweep`) consults it to
 skip every cell that has already been simulated.  See
-:mod:`repro.store.resultstore` for the on-disk layout and durability rules.
+:mod:`repro.store.resultstore` for the on-disk layout and durability rules,
+and :mod:`repro.store.manage` for the operator surface (inventory,
+verification, garbage collection and manifest-based export/import) behind
+the ``repro-dew store`` CLI family.
 """
 
+from repro.store.manage import (
+    MANIFEST_SCHEMA_VERSION,
+    ArtifactRecord,
+    GcReport,
+    ImportReport,
+    VerifyReport,
+    export_store,
+    gc_store,
+    import_store,
+    scan_store,
+    verify_store,
+)
 from repro.store.resultstore import (
     STORE_SCHEMA_VERSION,
     ResultStore,
@@ -16,9 +31,19 @@ from repro.store.resultstore import (
 )
 
 __all__ = [
+    "MANIFEST_SCHEMA_VERSION",
     "STORE_SCHEMA_VERSION",
+    "ArtifactRecord",
+    "GcReport",
+    "ImportReport",
     "ResultStore",
     "StoreKey",
+    "VerifyReport",
     "canonical_options_json",
+    "export_store",
+    "gc_store",
+    "import_store",
     "open_store",
+    "scan_store",
+    "verify_store",
 ]

@@ -53,6 +53,29 @@ _OBJECTS_DIR = "objects"
 _ARTIFACT_SUFFIX = ".npz"
 
 
+def _atomic_replace(target: Path, writer, mode: str = "wb", prefix: str = ".tmp-") -> None:
+    """Write via ``writer(handle)`` to a temp file and ``os.replace`` it in.
+
+    The single durability primitive shared by artifact writes, manifest
+    creation and store imports: flush + fsync before the rename, unlink the
+    temp file on failure, raise :class:`~repro.errors.StoreError` with the
+    target path on any OS-level problem.
+    """
+    fd, temp_name = tempfile.mkstemp(prefix=prefix, dir=target.parent)
+    try:
+        with os.fdopen(fd, mode) as handle:
+            writer(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except OSError as exc:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise StoreError(f"could not write {target}: {exc}") from exc
+
+
 def _json_canonical_default(value: Any) -> Any:
     """Reduce non-JSON option values to a canonical JSON-able form."""
     if isinstance(value, CacheConfig):
@@ -205,31 +228,20 @@ class ResultStore:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         frame = results.frame()
-        fd, temp_name = tempfile.mkstemp(
-            prefix=".tmp-" + key.digest[:8] + "-", suffix=_ARTIFACT_SUFFIX,
-            dir=path.parent,
+        _atomic_replace(
+            path,
+            lambda handle: frame.to_npz(
+                handle,
+                extra_metadata={
+                    "store_schema": STORE_SCHEMA_VERSION,
+                    "key": key.describe(),
+                    # Instrumentation rides along so warm runs report the
+                    # same work counters the cold run measured.
+                    "counters": dataclasses.asdict(results.counters),
+                },
+            ),
+            prefix=".tmp-" + key.digest[:8] + "-",
         )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                frame.to_npz(
-                    handle,
-                    extra_metadata={
-                        "store_schema": STORE_SCHEMA_VERSION,
-                        "key": key.describe(),
-                        # Instrumentation rides along so warm runs report the
-                        # same work counters the cold run measured.
-                        "counters": dataclasses.asdict(results.counters),
-                    },
-                )
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(temp_name, path)
-        except OSError as exc:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise StoreError(f"could not write artifact {path}: {exc}") from exc
         self.put_count += 1
         return path
 
@@ -287,15 +299,10 @@ def open_store(path: Union[str, os.PathLike]) -> ResultStore:
             )
     else:
         manifest = {"schema": STORE_SCHEMA_VERSION, "format": "npz-frame"}
-        fd, temp_name = tempfile.mkstemp(prefix=".tmp-manifest-", dir=root)
-        try:
-            with os.fdopen(fd, "w", encoding="ascii") as handle:
-                json.dump(manifest, handle, sort_keys=True)
-            os.replace(temp_name, manifest_path)
-        except OSError as exc:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise StoreError(f"could not initialise result store at {root}: {exc}") from exc
+        _atomic_replace(
+            manifest_path,
+            lambda handle: json.dump(manifest, handle, sort_keys=True),
+            mode="w",
+            prefix=".tmp-manifest-",
+        )
     return ResultStore(root)

@@ -249,3 +249,33 @@ def test_results_frame_disk_round_trip_is_lossless(results, elapsed):
     # And through the object-level view as well.
     view = SimulationResults.from_frame(restored)
     assert view.as_rows() == SimulationResults(results).as_rows()
+
+
+class TestMetricColumns:
+    def test_total_sizes_column(self):
+        frame = _sample_frame()
+        expected = [frame.config_at(row).total_size for row in range(len(frame))]
+        assert frame.total_sizes().tolist() == expected
+
+    def test_metric_columns_match_object_properties(self):
+        frame = _sample_frame()
+        rows = [frame.result_at(row) for row in range(len(frame))]
+        assert frame.metric_column("num_sets").tolist() == [r.config.num_sets for r in rows]
+        assert frame.metric_column("associativity").tolist() == [r.config.associativity for r in rows]
+        assert frame.metric_column("block_size").tolist() == [r.config.block_size for r in rows]
+        assert frame.metric_column("total_size").tolist() == [r.config.total_size for r in rows]
+        assert frame.metric_column("accesses").tolist() == [r.accesses for r in rows]
+        assert frame.metric_column("misses").tolist() == [r.misses for r in rows]
+        assert frame.metric_column("hits").tolist() == [r.hits for r in rows]
+        assert frame.metric_column("compulsory_misses").tolist() == [r.compulsory_misses for r in rows]
+        assert frame.metric_column("miss_rate").tolist() == [r.miss_rate for r in rows]
+        assert frame.metric_column("hit_rate").tolist() == [r.hit_rate for r in rows]
+
+    def test_hit_rate_of_empty_trace_rows_is_zero(self):
+        frame = ResultsFrame([1, 2], [1, 1], [16, 16], [0, 0], [0, 100], [0, 25], [0, 0])
+        assert frame.metric_column("hit_rate").tolist() == [0.0, 0.75]
+        assert frame.metric_column("miss_rate").tolist() == [0.0, 0.25]
+
+    def test_unknown_metric_name_rejected(self):
+        with pytest.raises(SimulationError, match="unknown metric column"):
+            _sample_frame().metric_column("speedup")
