@@ -24,7 +24,7 @@ from repro.lru.janapsatya import JanapsatyaSimulator
 from repro.store import open_store
 from repro.trace.stats import compute_trace_statistics
 from repro.types import ReplacementPolicy
-from repro.workloads.synthetic import WorkingSetGenerator
+from repro.workloads.synthetic import SequentialStream, WorkingSetGenerator
 
 SET_SIZES = tuple(2**i for i in range(11))
 
@@ -83,7 +83,7 @@ def test_micro_trace_statistics(benchmark, micro_trace):
     assert stats.length == 4000
 
 
-def test_micro_chunked_pipeline_beats_per_address_loop():
+def test_micro_chunked_pipeline_beats_per_address_loop(pr4_report):
     """The engine block pipeline must outpace the per-address loop.
 
     The chunked path shifts addresses to block addresses with one vectorised
@@ -123,6 +123,81 @@ def test_micro_chunked_pipeline_beats_per_address_loop():
         f"chunked pipeline ({chunked_seconds:.3f}s) should beat the "
         f"per-address loop ({per_address_seconds:.3f}s)"
     )
+    pr4_report["pr1_chunked_pipeline_vs_per_address"] = per_address_seconds / chunked_seconds
+
+
+def test_micro_rle_collapse_speedup(pr4_report):
+    """Run-length collapse must be >= 1.5x on a high-locality trace.
+
+    A byte-granular sequential stream (memcpy-style; the paper's traces are
+    byte addresses) has runs of ``block_size / stride`` consecutive
+    same-block accesses; the collapsed DEW path walks one head per run and
+    bulk-accounts the duplicates, so the Python-level iteration count drops
+    by the run length.  Results and work counters must stay byte-identical
+    (the hypothesis oracle covers exactness; this pins the payoff).
+    """
+    trace = SequentialStream(stride=1, region_bytes=1 << 16).generate(400_000, seed=0)
+
+    def time_plain():
+        engine = get_engine("dew", block_size=64, associativity=4, set_sizes=SET_SIZES)
+        start = time.perf_counter()
+        results = engine.run(trace)
+        return time.perf_counter() - start, results, engine.counters.as_dict()
+
+    def time_collapsed():
+        engine = get_engine(
+            "dew", block_size=64, associativity=4, set_sizes=SET_SIZES, collapse=True
+        )
+        start = time.perf_counter()
+        results = engine.run(trace)
+        return time.perf_counter() - start, results, engine.counters.as_dict()
+
+    plain_seconds, plain_results, plain_counters = min(
+        (time_plain() for _ in range(3)), key=lambda triple: triple[0]
+    )
+    collapsed_seconds, collapsed_results, collapsed_counters = min(
+        (time_collapsed() for _ in range(3)), key=lambda triple: triple[0]
+    )
+
+    assert collapsed_results.as_rows() == plain_results.as_rows()
+    assert collapsed_counters == plain_counters
+    speedup = plain_seconds / collapsed_seconds
+    pr4_report["pr4_rle_collapse_speedup"] = speedup
+    assert speedup >= 1.5, (
+        f"run-length collapse ({collapsed_seconds:.3f}s) should be >= 1.5x "
+        f"faster than the raw walk ({plain_seconds:.3f}s), got {speedup:.2f}x"
+    )
+
+
+def test_micro_fused_sweep_beats_per_job_baseline(pr4_report):
+    """The fused executor must be >= 1.5x over per-job on a 4-job 1M sweep.
+
+    Four DEW jobs (two block sizes x two associativities) over a 1M-access
+    high-locality trace: the per-job scheme pays four full trace passes (one
+    decode + one Python walk per raw access each); the fused executor
+    decodes once, computes each block-size shift and run-length collapse
+    once, and feeds all four engines in a single pass.  Output rows must be
+    byte-identical.
+    """
+    trace = SequentialStream(stride=1, region_bytes=1 << 17).generate(1_000_000, seed=1)
+    jobs = build_grid_jobs([16, 64], [2, 4], SET_SIZES)
+    assert len(jobs) == 4
+
+    per_job_start = time.perf_counter()
+    per_job = run_sweep(trace, jobs, fused=False)
+    per_job_seconds = time.perf_counter() - per_job_start
+
+    fused_start = time.perf_counter()
+    fused = run_sweep(trace, jobs, fused=True)
+    fused_seconds = time.perf_counter() - fused_start
+
+    assert fused.as_rows() == per_job.as_rows()
+    speedup = per_job_seconds / fused_seconds
+    pr4_report["pr4_fused_sweep_vs_per_job"] = speedup
+    assert speedup >= 1.5, (
+        f"fused sweep ({fused_seconds:.3f}s) should be >= 1.5x faster than "
+        f"the per-job baseline ({per_job_seconds:.3f}s), got {speedup:.2f}x"
+    )
 
 
 def _synthetic_families(num_families=16, num_levels=15, num_assocs=256):
@@ -152,7 +227,7 @@ def _synthetic_families(num_families=16, num_levels=15, num_assocs=256):
     return families
 
 
-def test_micro_columnar_merge_beats_object_merge():
+def test_micro_columnar_merge_beats_object_merge(pr4_report):
     """ResultsFrame.merge must outpace the object-level merge loop.
 
     The columnar path concatenates numpy key/value columns and deduplicates
@@ -185,9 +260,10 @@ def test_micro_columnar_merge_beats_object_merge():
         f"columnar merge ({columnar_seconds:.3f}s) should beat the "
         f"object-level merge ({object_seconds:.3f}s)"
     )
+    pr4_report["pr2_columnar_merge_vs_object"] = object_seconds / columnar_seconds
 
 
-def test_micro_warm_sweep_beats_cold_sweep(tmp_path, micro_trace):
+def test_micro_warm_sweep_beats_cold_sweep(tmp_path, micro_trace, pr4_report):
     """A store-warmed sweep must execute zero jobs and beat the cold run.
 
     This quantifies the persistent store's win: the second run over the same
@@ -212,6 +288,7 @@ def test_micro_warm_sweep_beats_cold_sweep(tmp_path, micro_trace):
         f"store-warmed sweep ({warm_seconds:.3f}s) should beat the "
         f"cold sweep ({cold_seconds:.3f}s)"
     )
+    pr4_report["pr2_warm_sweep_vs_cold"] = cold_seconds / warm_seconds
 
 
 def _exploration_frame(rows=10_000):
@@ -251,7 +328,7 @@ def _exploration_frame(rows=10_000):
     )
 
 
-def test_micro_frame_pareto_beats_object_path():
+def test_micro_frame_pareto_beats_object_path(pr4_report):
     """pareto_front_frame must be >= 5x faster than the object-point path.
 
     The object path is the legacy API shape: materialise one ConfigResult
@@ -287,9 +364,10 @@ def test_micro_frame_pareto_beats_object_path():
         f"frame Pareto ({frame_seconds:.4f}s) should be >= 5x faster than "
         f"the object path ({object_seconds:.4f}s)"
     )
+    pr4_report["pr3_frame_pareto_vs_object"] = object_seconds / frame_seconds
 
 
-def test_micro_frame_tuner_beats_object_path():
+def test_micro_frame_tuner_beats_object_path(pr4_report):
     """CacheTuner.tune_frame must be >= 5x faster than the object path.
 
     The object path materialises every row as a ConfigResult and hands the
@@ -323,6 +401,7 @@ def test_micro_frame_tuner_beats_object_path():
         f"frame tuner ({frame_seconds:.4f}s) should be >= 5x faster than "
         f"the object path ({object_seconds:.4f}s)"
     )
+    pr4_report["pr3_frame_tuner_vs_object"] = object_seconds / frame_seconds
 
 
 def test_micro_dew_scales_with_levels(benchmark):

@@ -13,11 +13,31 @@ discussion.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 from repro.bench.harness import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def pr4_report():
+    """Collector for machine-readable speedup measurements.
+
+    Benchmarks that measure a "new path vs old path" ratio record it here
+    (``report["name"] = ratio``); at session end the collected trajectory is
+    written as ``BENCH_PR4.json`` (path overridable via the
+    ``REPRO_BENCH_PR4`` environment variable) so CI can archive how each
+    optimisation layer performs over time.
+    """
+    data = {}
+    yield data
+    if data:
+        path = os.environ.get("REPRO_BENCH_PR4", "BENCH_PR4.json")
+        with open(path, "w", encoding="ascii") as handle:
+            json.dump(dict(sorted(data.items())), handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -42,6 +42,7 @@ from repro.cache.simulator import SingleConfigSimulator, simulate_trace
 from repro.cache.stats import CacheStats
 from repro.engine import (
     Engine,
+    FusedSweepExecutor,
     SweepJob,
     SweepOutcome,
     available_engines,
@@ -83,6 +84,7 @@ __all__ = [
     "SweepOutcome",
     "build_grid_jobs",
     "run_sweep",
+    "FusedSweepExecutor",
     "JanapsatyaSimulator",
     "simulate_lru_family",
     "ResultStore",

@@ -20,6 +20,11 @@ Installed as ``repro-dew``.  Subcommands:
     output with a stable sort order.
 ``verify``
     Cross-check DEW against the reference simulator on a trace.
+``explore``
+    Design-space exploration over swept results — ``explore pareto`` (the
+    non-dominated configurations over chosen metrics) and ``explore tune``
+    (constraint-driven selection) — fed from either a ``sweep --format
+    json`` payload or a result store directory.
 ``store``
     Manage a persistent result store: ``store ls`` (inventory), ``store
     verify`` (re-hash every artifact, report corrupt/mis-addressed files),
@@ -49,14 +54,24 @@ from repro.bench.harness import ExperimentRunner
 from repro.bench.tables import format_table1, format_table2, format_table3, format_table4
 from repro.cache.dinero import DineroStyleRunner
 from repro.core.config import CacheConfig
+from repro.core.results import ResultsFrame
 from repro.engine import build_grid_jobs, get_engine, run_sweep
-from repro.errors import ConfigurationError, ReproError, StoreError, TraceError
+from repro.errors import (
+    ConfigurationError,
+    ExplorationError,
+    ReproError,
+    SimulationError,
+    StoreError,
+    TraceError,
+)
+from repro.explore import CacheTuner, EnergyModel, TuningConstraints, pareto_front_frame
 from repro.store import open_store
 from repro.store.manage import (
     DEFAULT_MANIFEST_NAME,
     export_store,
     gc_store,
     import_store,
+    load_store_frame,
     verify_store,
 )
 from repro.trace.din import read_din, write_din
@@ -109,6 +124,7 @@ def _cmd_dew(args: argparse.Namespace) -> int:
         block_size=args.block_size,
         associativity=args.associativity,
         set_sizes=_set_sizes(args.max_sets),
+        collapse=getattr(args, "collapse", False),
     )
     results = engine.run(trace)
     print(f"DEW: {len(trace):,} requests, {len(results)} configurations, "
@@ -163,7 +179,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     store = open_store(args.store) if args.store else None
-    outcome = run_sweep(trace, jobs, workers=args.workers, store=store, force=args.force)
+    outcome = run_sweep(
+        trace,
+        jobs,
+        workers=args.workers,
+        store=store,
+        force=args.force,
+        fused=not args.no_fused,
+    )
     merged = outcome.merged()
     # Result lines are deterministic (byte-identical for any worker count and
     # for cold vs store-warmed runs); timing and store bookkeeping go to
@@ -248,7 +271,7 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     if args.keep_fingerprints is not None:
         keep = [token.strip() for token in args.keep_fingerprints.split(",") if token.strip()]
     report = gc_store(_open_existing_store(args.store_dir), keep_fingerprints=keep,
-                      dry_run=args.dry_run)
+                      dry_run=args.dry_run, max_bytes=args.max_bytes)
     print(report.summary())
     for record in report.removed:
         print(f"  [{record.status}] {record.path}")
@@ -271,6 +294,126 @@ def _cmd_store_export(args: argparse.Namespace) -> int:
 def _cmd_store_import(args: argparse.Namespace) -> int:
     report = import_store(open_store(args.store_dir), args.manifest)
     print(report.summary())
+    return 0
+
+
+def _explore_frame(args: argparse.Namespace) -> ResultsFrame:
+    """The columnar result set an ``explore`` sub-command operates on.
+
+    Sources are mutually exclusive: ``--json`` (a ``sweep --format json``
+    payload) or ``--store`` (every valid artifact of one trace, merged).
+    """
+    if bool(args.json) == bool(args.store):
+        raise ExplorationError("explore needs exactly one of --json FILE or --store DIR")
+    if args.json:
+        if args.trace:
+            raise ExplorationError(
+                "--trace filters a --store source; a sweep JSON already "
+                "covers exactly one trace"
+            )
+        try:
+            with open(args.json, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise ExplorationError(f"sweep JSON not found: {args.json}") from None
+        except (OSError, ValueError) as exc:
+            raise ExplorationError(f"could not read sweep JSON {args.json}: {exc}") from exc
+        if not isinstance(payload, dict) or "configurations" not in payload:
+            raise ExplorationError(
+                f"{args.json} is not a sweep JSON payload (missing 'configurations')"
+            )
+        return ResultsFrame.from_rows(
+            payload["configurations"],
+            simulator_name=str(payload.get("simulator", "sweep")),
+            trace_name=str(payload.get("trace", "trace")),
+        )
+    return load_store_frame(_open_existing_store(args.store), args.trace)
+
+
+#: Metric names the explore CLI accepts: every frame column plus the two
+#: energy-model columns (computed on demand).
+_ENERGY_METRICS = ("energy", "amat")
+
+
+def _explore_metric_columns(frame: ResultsFrame, names: List[str]):
+    model_estimate = None
+    columns = []
+    for name in names:
+        if name in _ENERGY_METRICS:
+            if model_estimate is None:
+                model_estimate = EnergyModel().estimate_frame(frame)
+            columns.append(
+                model_estimate.total_energy_nj
+                if name == "energy"
+                else model_estimate.average_access_time_ns
+            )
+        else:
+            columns.append(frame.metric_column(name))
+    return columns
+
+
+def _cmd_explore_pareto(args: argparse.Namespace) -> int:
+    frame = _explore_frame(args)
+    names = [token.strip() for token in args.metrics.split(",") if token.strip()]
+    if len(names) < 2:
+        raise ExplorationError(f"need at least two metrics, got {args.metrics!r}")
+    columns = _explore_metric_columns(frame, names)
+    front = pareto_front_frame(frame, columns)
+    rows = []
+    for index in front.tolist():
+        config = frame.config_at(index)
+        row = {
+            "config": config.label(),
+            "num_sets": config.num_sets,
+            "associativity": config.associativity,
+            "block_size": config.block_size,
+            "policy": config.policy.value,
+        }
+        for name, column in zip(names, columns):
+            row[name] = float(column[index])
+        rows.append(row)
+    if args.format == "json":
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(
+        f"pareto front over ({', '.join(names)}): "
+        f"{len(rows)} of {len(frame)} configurations"
+    )
+    for row in rows:
+        metrics = "  ".join(f"{name}={row[name]:g}" for name in names)
+        print(f"  {row['config']:<32} {metrics}")
+    return 0
+
+
+def _cmd_explore_tune(args: argparse.Namespace) -> int:
+    frame = _explore_frame(args)
+    constraints = TuningConstraints(
+        max_total_size=args.max_size,
+        max_miss_rate=args.max_miss_rate,
+        max_energy_nj=args.max_energy,
+        max_average_access_time_ns=args.max_amat,
+        min_associativity=args.min_associativity,
+        max_associativity=args.max_associativity,
+    )
+    tuner = CacheTuner(objective=args.objective)
+    outcomes = tuner.rank_frame(frame, constraints=constraints, top=max(args.top, 1))
+    if not outcomes:
+        raise ExplorationError("no configuration satisfies the tuning constraints")
+    rows = [outcome.as_dict() for outcome in outcomes]
+    if args.format == "json":
+        print(json.dumps(rows, indent=2))
+        return 0
+    best = rows[0]
+    print(
+        f"tuned {best['candidates_considered']} configurations "
+        f"({best['candidates_admitted']} admitted) for minimal {args.objective}"
+    )
+    for rank, row in enumerate(rows, start=1):
+        print(
+            f"  #{rank} {row['config']:<32} {args.objective}={row['objective_value']:g} "
+            f"size={row['total_size']:,} miss_rate={row['miss_rate']:.4f} "
+            f"energy={row['total_energy_nj']:.1f}nJ amat={row['average_access_time_ns']:.3f}ns"
+        )
     return 0
 
 
@@ -328,6 +471,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     dew = subparsers.add_parser("dew", help="run DEW over a trace")
     add_family_arguments(dew)
+    dew.add_argument("--collapse", action="store_true",
+                     help="run-length collapse consecutive same-block accesses "
+                          "before the walk (identical results, fewer iterations)")
     dew.set_defaults(func=_cmd_dew)
 
     baseline = subparsers.add_parser("baseline", help="run the Dinero-style baseline over a trace")
@@ -356,6 +502,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "simulated for this trace are loaded, not re-run")
     sweep.add_argument("--force", action="store_true",
                        help="with --store, re-execute every job even when cached")
+    sweep.add_argument("--no-fused", action="store_true",
+                       help="disable the fused single-pass executor and run one "
+                            "full trace pass per job (results are identical)")
     sweep.add_argument("--format", choices=("text", "json"), default="text",
                        help="output format (json rows use a stable sort order)")
     sweep.set_defaults(func=_cmd_sweep)
@@ -363,6 +512,50 @@ def build_parser() -> argparse.ArgumentParser:
     verify = subparsers.add_parser("verify", help="cross-check DEW against the reference simulator")
     add_family_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="explore swept results: Pareto fronts and constraint-driven tuning",
+    )
+    explore_sub = explore.add_subparsers(dest="explore_command", required=True)
+
+    def add_source_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--json", default=None, metavar="FILE",
+                         help="sweep results as written by 'sweep --format json'")
+        sub.add_argument("--store", default=None, metavar="DIR",
+                         help="result store directory (all artifacts of one trace)")
+        sub.add_argument("--trace", default=None, metavar="FP",
+                         help="with --store: trace fingerprint prefix "
+                              "(as printed by 'store ls')")
+        sub.add_argument("--format", choices=("text", "json"), default="text",
+                         help="output format")
+
+    explore_pareto = explore_sub.add_parser(
+        "pareto", help="non-dominated configurations over the chosen metrics")
+    add_source_arguments(explore_pareto)
+    explore_pareto.add_argument(
+        "--metrics", default="total_size,miss_rate",
+        help="comma-separated lower-is-better metrics: frame columns "
+             "(total_size, miss_rate, misses, ...) plus 'energy' and 'amat'")
+    explore_pareto.set_defaults(func=_cmd_explore_pareto)
+
+    explore_tune = explore_sub.add_parser(
+        "tune", help="pick the best admissible configuration under constraints")
+    add_source_arguments(explore_tune)
+    explore_tune.add_argument("--objective", choices=("misses", "energy", "edp", "amat"),
+                              default="energy", help="quantity to minimise")
+    explore_tune.add_argument("--top", type=int, default=1,
+                              help="report the N best configurations")
+    explore_tune.add_argument("--max-size", type=int, default=None, metavar="BYTES",
+                              help="largest admissible total cache size")
+    explore_tune.add_argument("--max-miss-rate", type=float, default=None, metavar="X")
+    explore_tune.add_argument("--max-energy", type=float, default=None, metavar="NJ",
+                              help="largest admissible total energy (nJ)")
+    explore_tune.add_argument("--max-amat", type=float, default=None, metavar="NS",
+                              help="largest admissible average access time (ns)")
+    explore_tune.add_argument("--min-associativity", type=int, default=None, metavar="A")
+    explore_tune.add_argument("--max-associativity", type=int, default=None, metavar="A")
+    explore_tune.set_defaults(func=_cmd_explore_tune)
 
     store = subparsers.add_parser("store", help="inspect and manage a persistent result store")
     store_sub = store.add_subparsers(dest="store_command", required=True)
@@ -387,6 +580,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated trace fingerprint prefixes to keep "
                                "(as printed by 'store ls'); every valid artifact "
                                "matching none of them is removed")
+    store_gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                          help="size budget: evict valid artifacts oldest-first "
+                               "until the store fits in N bytes (evicted cells "
+                               "are re-simulated by the next sweep)")
     store_gc.add_argument("--dry-run", action="store_true",
                           help="report what would be removed without deleting anything")
     store_gc.set_defaults(func=_cmd_store_gc)

@@ -34,11 +34,11 @@ from typing import Iterable, List, Optional, Sequence, Set, Union
 import numpy as np
 
 from repro.core.counters import DewCounters
-from repro.core.results import ConfigResult, SimulationResults
+from repro.core.results import ResultsFrame, SimulationResults, policy_code
 from repro.core.tree import DewTree
 from repro.errors import SimulationError
 from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
-from repro.types import EMPTY_WAVE, INVALID_TAG
+from repro.types import EMPTY_WAVE, INVALID_TAG, ReplacementPolicy
 
 
 class DewSimulator:
@@ -402,17 +402,86 @@ class DewSimulator:
         counters.searches += n_search
         counters.search_hits += n_search_hit
 
+    def run_block_runs(
+        self,
+        values: Union[Sequence[int], np.ndarray],
+        counts: Union[Sequence[int], np.ndarray],
+    ) -> None:
+        """Simulate a run-length-collapsed chunk: ``counts[i]`` consecutive
+        accesses to block ``values[i]`` (see
+        :func:`repro.trace.trace.collapse_block_runs`).
+
+        Exactness rests on Property 2: an immediately-repeated block matches
+        the root node's MRA tag, which is a hit in *every* configuration
+        (simulated associativity and direct-mapped alike) and changes no tree
+        state.  So only each run's head needs the full top-down walk — the
+        remaining ``count - 1`` duplicates are accounted in bulk:
+
+        * with the MRA property enabled, each duplicate costs exactly one
+          root-node evaluation, one tag comparison and one MRA hit (the walk
+          stops at level 0);
+        * with the MRA property disabled (ablation mode), every access walks
+          all levels and the duplicate matches the — fully refreshed — MRA
+          tag at each one, costing one evaluation and one comparison per
+          level and nothing else.
+
+        Both cases leave miss counts, direct-mapped miss counts, compulsory
+        classification and every work counter identical to feeding the
+        uncollapsed stream through :meth:`run_blocks`; the test suite pins
+        this byte-for-byte.
+        """
+        counts_arr = np.asarray(counts, dtype=np.int64)
+        if counts_arr.size != len(values):
+            raise SimulationError(
+                f"run-length chunk mismatch: {len(values)} values vs "
+                f"{counts_arr.size} counts"
+            )
+        if counts_arr.size == 0:
+            return
+        if counts_arr.min() < 1:
+            raise SimulationError("run-length counts must be positive")
+        duplicates = int(counts_arr.sum()) - int(counts_arr.size)
+        self.run_blocks(values)
+        if duplicates == 0:
+            return
+        counters = self.counters
+        counters.requests += duplicates
+        self._requests += duplicates
+        per_level = counters.evaluations_per_level
+        if self.enable_mra:
+            counters.node_evaluations += duplicates
+            counters.tag_comparisons += duplicates
+            counters.mra_hits += duplicates
+            per_level[0] += duplicates
+        else:
+            num_levels = self.tree.num_levels
+            counters.node_evaluations += duplicates * num_levels
+            counters.tag_comparisons += duplicates * num_levels
+            for level in range(num_levels):
+                per_level[level] += duplicates
+
     def run(
         self,
         trace: Union[Trace, Iterable[int]],
         trace_name: Optional[str] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        collapse: bool = False,
     ) -> SimulationResults:
-        """Simulate a whole trace and return the per-configuration results."""
+        """Simulate a whole trace and return the per-configuration results.
+
+        With ``collapse=True`` (and a :class:`Trace` input) the block stream
+        is run-length collapsed first and fed through
+        :meth:`run_block_runs` — results and counters are identical, only
+        the number of Python-level walk iterations shrinks.
+        """
         start = time.perf_counter()
         if isinstance(trace, Trace):
-            for chunk in trace.iter_block_chunks(self._offset_bits, chunk_size):
-                self.run_blocks(chunk)
+            if collapse:
+                for values, counts in trace.iter_block_runs(self._offset_bits, chunk_size):
+                    self.run_block_runs(values, counts)
+            else:
+                for chunk in trace.iter_block_chunks(self._offset_bits, chunk_size):
+                    self.run_blocks(chunk)
             name = trace_name or trace.name
         else:
             for address in trace:
@@ -423,33 +492,52 @@ class DewSimulator:
 
     # -- results ---------------------------------------------------------------
 
-    def results(self, trace_name: str = "trace") -> SimulationResults:
-        """Per-configuration results accumulated so far."""
-        results = SimulationResults(
-            counters=self.counters,
+    def results_frame(self, trace_name: str = "trace") -> ResultsFrame:
+        """Per-configuration results accumulated so far, in columnar form.
+
+        Emits the :class:`~repro.core.results.ResultsFrame` columns directly
+        from the per-level miss arrays — one family row per level plus the
+        free direct-mapped row when ``A > 1`` — without materialising a
+        single :class:`~repro.core.results.ConfigResult`.  This is the
+        engine pipeline's native finalize path; :meth:`results` is a thin
+        view over it.
+        """
+        tree = self.tree
+        num_levels = tree.num_levels
+        sets = np.asarray(tree.set_sizes[:num_levels], dtype=np.int64)
+        misses = np.asarray(self._misses, dtype=np.int64)
+        if tree.associativity > 1:
+            num_sets = np.concatenate([sets, sets])
+            assocs = np.concatenate(
+                [
+                    np.full(num_levels, tree.associativity, dtype=np.int64),
+                    np.ones(num_levels, dtype=np.int64),
+                ]
+            )
+            miss_col = np.concatenate([misses, np.asarray(self._dm_misses, dtype=np.int64)])
+        else:
+            num_sets = sets
+            assocs = np.ones(num_levels, dtype=np.int64)
+            miss_col = misses
+        rows = num_sets.size
+        return ResultsFrame(
+            num_sets,
+            assocs,
+            np.full(rows, tree.block_size, dtype=np.int64),
+            np.full(rows, policy_code(ReplacementPolicy.FIFO), dtype=np.int8),
+            np.full(rows, self._requests, dtype=np.int64),
+            miss_col,
+            np.full(rows, self._compulsory, dtype=np.int64),
             elapsed_seconds=self._elapsed,
             simulator_name="dew",
             trace_name=trace_name,
         )
-        for level in range(self.tree.num_levels):
-            results.add(
-                ConfigResult(
-                    config=self.tree.config_at(level),
-                    accesses=self._requests,
-                    misses=self._misses[level],
-                    compulsory_misses=self._compulsory,
-                )
-            )
-            if self.tree.associativity > 1:
-                results.add(
-                    ConfigResult(
-                        config=self.tree.config_at(level, associativity=1),
-                        accesses=self._requests,
-                        misses=self._dm_misses[level],
-                        compulsory_misses=self._compulsory,
-                    )
-                )
-        return results
+
+    def results(self, trace_name: str = "trace") -> SimulationResults:
+        """Per-configuration results accumulated so far (frame-backed view)."""
+        return SimulationResults.from_frame(
+            self.results_frame(trace_name=trace_name), counters=self.counters
+        )
 
     def reset(self) -> None:
         """Clear all simulation state, counters and results."""

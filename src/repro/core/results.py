@@ -95,6 +95,15 @@ class ConfigResult:
         }
 
 
+def policy_code(policy: Union[str, ReplacementPolicy]) -> int:
+    """The frame policy code of a replacement policy (index into POLICY_TABLE)."""
+    if isinstance(policy, ReplacementPolicy):
+        value = policy.value
+    else:
+        value = ReplacementPolicy.parse(policy).value
+    return _POLICY_CODES[value]
+
+
 def _policy_code(policy: ReplacementPolicy) -> int:
     return _POLICY_CODES[policy.value]
 
@@ -467,6 +476,40 @@ class ResultsFrame:
             simulator_name=simulator_name,
             trace_name=trace_name,
         )
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Mapping[str, Any]],
+        elapsed_seconds: float = 0.0,
+        simulator_name: str = "sweep",
+        trace_name: str = "trace",
+    ) -> "ResultsFrame":
+        """Build a frame from ``as_rows()``-style dictionaries.
+
+        This is the inverse of :meth:`SimulationResults.as_rows` /
+        ``to_json`` for the key and count fields (derived fields like
+        ``hits`` and ``miss_rate`` are ignored), so a sweep's JSON output
+        round-trips back into columnar form — e.g. for the ``repro-dew
+        explore`` CLI.  Missing keys raise
+        :class:`~repro.errors.SimulationError`.
+        """
+        row_list = list(rows)
+        try:
+            return cls(
+                [int(row["num_sets"]) for row in row_list],
+                [int(row["associativity"]) for row in row_list],
+                [int(row["block_size"]) for row in row_list],
+                [policy_code(str(row["policy"])) for row in row_list],
+                [int(row["accesses"]) for row in row_list],
+                [int(row["misses"]) for row in row_list],
+                [int(row.get("compulsory_misses", 0)) for row in row_list],
+                elapsed_seconds=elapsed_seconds,
+                simulator_name=simulator_name,
+                trace_name=trace_name,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed result row: {exc}") from exc
 
     @classmethod
     def merge(

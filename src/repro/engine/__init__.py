@@ -21,6 +21,7 @@ from repro.engine.adapters import (
     StackDistanceLruEngine,
 )
 from repro.engine.sweep import (
+    FusedSweepExecutor,
     SweepJob,
     SweepOutcome,
     build_grid_jobs,
@@ -38,6 +39,7 @@ __all__ = [
     "JanapsatyaEngine",
     "CrcbJanapsatyaEngine",
     "StackDistanceLruEngine",
+    "FusedSweepExecutor",
     "SweepJob",
     "SweepOutcome",
     "build_grid_jobs",

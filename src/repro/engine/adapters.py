@@ -19,7 +19,8 @@ registry key              underlying simulator
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+import time
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,11 +29,12 @@ from repro.cache.stats import CacheStats
 from repro.core.config import CacheConfig
 from repro.core.counters import DewCounters
 from repro.core.dew import DewSimulator
-from repro.core.results import ConfigResult, SimulationResults
+from repro.core.results import ConfigResult, ResultsFrame, SimulationResults, policy_code
 from repro.engine.base import Engine, register_engine
 from repro.errors import ConfigurationError
 from repro.lru.janapsatya import JanapsatyaSimulator
 from repro.lru.stack import StackDistanceEngine
+from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 from repro.types import ReplacementPolicy, is_power_of_two, log2_exact
 
 BlockChunk = Union[Sequence[int], np.ndarray]
@@ -41,16 +43,27 @@ TypeChunk = Optional[Union[Sequence[int], np.ndarray]]
 
 @register_engine("dew")
 class DewEngine(Engine):
-    """Single-pass multi-configuration FIFO simulation (the paper's DEW)."""
+    """Single-pass multi-configuration FIFO simulation (the paper's DEW).
+
+    With ``collapse=True`` whole-trace runs feed the simulator run-length
+    collapsed chunks (consecutive same-block accesses become bulk MRA hits,
+    see :meth:`~repro.core.dew.DewSimulator.run_block_runs`); results and
+    work counters are identical either way, so the switch is a pure
+    performance knob (and the fused sweep executor's default).
+    """
+
+    supports_block_runs = True
 
     def __init__(
         self,
         block_size: int,
         associativity: int,
         set_sizes: Optional[Sequence[int]] = None,
+        collapse: bool = False,
         **simulator_options: bool,
     ) -> None:
         super().__init__()
+        self.collapse = bool(collapse)
         self.simulator = DewSimulator(
             block_size, associativity, set_sizes, **simulator_options
         )
@@ -64,11 +77,33 @@ class DewEngine(Engine):
         """Work counters of the underlying DEW simulator."""
         return self.simulator.counters
 
+    def run(
+        self,
+        trace: Union[Trace, Iterable[int]],
+        trace_name: Optional[str] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> SimulationResults:
+        if not (self.collapse and isinstance(trace, Trace)):
+            return super().run(trace, trace_name=trace_name, chunk_size=chunk_size)
+        start = time.perf_counter()
+        for values, counts in trace.iter_block_runs(self.offset_bits, chunk_size):
+            self.simulator.run_block_runs(values, counts)
+        self._elapsed += time.perf_counter() - start
+        results = self.finalize(trace_name=trace_name or trace.name)
+        results.elapsed_seconds = self._elapsed
+        return results
+
     def run_blocks(self, blocks: BlockChunk, access_types: TypeChunk = None) -> None:
         self.simulator.run_blocks(blocks)
 
+    def run_block_runs(self, values: BlockChunk, counts: BlockChunk) -> None:
+        self.simulator.run_block_runs(values, counts)
+
     def finalize(self, trace_name: str = "trace") -> SimulationResults:
         return self.simulator.results(trace_name=trace_name)
+
+    def finalize_frame(self, trace_name: str = "trace") -> ResultsFrame:
+        return self.simulator.results_frame(trace_name=trace_name)
 
     def reset(self) -> None:
         self.simulator.reset()
@@ -118,8 +153,19 @@ class SingleConfigEngine(Engine):
         self.simulator.run_blocks(blocks, access_types)
 
     def finalize(self, trace_name: str = "trace") -> SimulationResults:
-        return SimulationResults.from_stats(
-            {self.config: self.simulator.stats},
+        return SimulationResults.from_frame(self.finalize_frame(trace_name=trace_name))
+
+    def finalize_frame(self, trace_name: str = "trace") -> ResultsFrame:
+        stats = self.simulator.stats
+        config = self.config
+        return ResultsFrame(
+            [config.num_sets],
+            [config.associativity],
+            [config.block_size],
+            [policy_code(config.policy)],
+            [stats.accesses],
+            [stats.misses],
+            [stats.compulsory_misses],
             simulator_name=self.family,
             trace_name=trace_name,
         )

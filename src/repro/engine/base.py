@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
 
 import numpy as np
 
-from repro.core.results import SimulationResults
+from repro.core.results import ResultsFrame, SimulationResults
 from repro.errors import EngineError, SimulationError
 from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 
@@ -43,6 +43,12 @@ class Engine(abc.ABC):
     #: When true, :meth:`run` feeds per-access type codes to
     #: :meth:`run_blocks` alongside the block addresses.
     wants_access_types: bool = False
+
+    #: When true, the engine accepts run-length-collapsed chunks via
+    #: :meth:`run_block_runs` with results identical to the raw stream —
+    #: the fused sweep executor then feeds it collapsed ``(values, counts)``
+    #: pairs instead of one entry per access.
+    supports_block_runs: bool = False
 
     def __init__(self) -> None:
         self._elapsed = 0.0
@@ -69,6 +75,36 @@ class Engine(abc.ABC):
     @abc.abstractmethod
     def reset(self) -> None:
         """Clear all simulation state so the engine can be reused."""
+
+    # -- optional surface ------------------------------------------------------
+
+    def run_block_runs(
+        self,
+        values: Union[Sequence[int], np.ndarray],
+        counts: Union[Sequence[int], np.ndarray],
+    ) -> None:
+        """Simulate a run-length-collapsed chunk (``counts[i]`` accesses to
+        ``values[i]``).
+
+        Only meaningful on engines advertising
+        :attr:`supports_block_runs`; the default raises so a mis-routed
+        collapsed chunk can never be silently mis-simulated.
+        """
+        raise EngineError(
+            f"engine {self.family!r} does not accept run-length-collapsed chunks"
+        )
+
+    def finalize_frame(self, trace_name: str = "trace") -> ResultsFrame:
+        """Per-configuration results accumulated so far, in columnar form.
+
+        The default adapts :meth:`finalize`; engines whose state is already
+        array-shaped override this to emit
+        :class:`~repro.core.results.ResultsFrame` columns directly (and make
+        :meth:`finalize` a thin frame-backed view), so sweeps never
+        materialise per-row :class:`~repro.core.results.ConfigResult`
+        objects.
+        """
+        return self.finalize(trace_name=trace_name).frame()
 
     # -- shared driver ---------------------------------------------------------
 

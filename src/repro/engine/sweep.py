@@ -43,7 +43,7 @@ from repro.core.results import ResultsFrame, SimulationResults
 from repro.engine.base import Engine, get_engine
 from repro.errors import EngineError, VerificationError
 from repro.store import ResultStore, StoreKey, open_store
-from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
+from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace, collapse_block_runs
 from repro.types import ReplacementPolicy
 
 #: Option names whose values are replacement policies and are parsed as such
@@ -268,6 +268,102 @@ class SweepOutcome:
         return rows
 
 
+def _coerce_trace(trace: Union[Trace, Sequence[int]]) -> Trace:
+    """A :class:`Trace` view of any address input (no copy when already one)."""
+    if isinstance(trace, Trace):
+        return trace
+    return Trace(np.fromiter((int(a) for a in trace), dtype=np.int64))
+
+
+class FusedSweepExecutor:
+    """Run many sweep jobs in one pass over the trace, sharing the decode.
+
+    The per-job scheme pays one full trace traversal — including the
+    byte-address-to-block-address shift and, for DEW, one Python-level walk
+    per raw access — per :class:`SweepJob`.  This executor exploits that the
+    *trace-side* work is identical across jobs:
+
+    * byte addresses are sliced into chunks once;
+    * each distinct ``offset_bits`` shift is computed once per chunk and the
+      resulting block array shared by every same-block-size engine;
+    * the run-length collapse (:func:`repro.trace.trace.collapse_block_runs`)
+      is computed once per (chunk, block size) and fed to every engine that
+      advertises :attr:`~repro.engine.base.Engine.supports_block_runs`, so
+      consecutive same-block accesses cost DEW one bulk root-MRA update
+      instead of one walk each;
+    * engines that do not consume runs (or that want access types) receive
+      the shared raw block array unchanged.
+
+    Results are exactly those of running each job separately: identical
+    rows, identical work counters (the collapse bulk-accounting is exact in
+    both MRA-ablation modes), identical store artifacts up to timing.  The
+    reported per-job ``elapsed_seconds`` covers only that engine's simulation
+    time — the shared decode is excluded, mirroring how the per-job path's
+    timing is dominated by engine work.
+    """
+
+    def __init__(
+        self,
+        trace: Union[Trace, Sequence[int]],
+        jobs: Sequence[SweepJob],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        collapse: bool = True,
+    ) -> None:
+        self.trace = _coerce_trace(trace)
+        self.jobs = list(jobs)
+        if not self.jobs:
+            raise EngineError("FusedSweepExecutor needs at least one job")
+        self.chunk_size = max(int(chunk_size), 1)
+        self.collapse = bool(collapse)
+
+    def execute(self) -> List[SimulationResults]:
+        """One fused pass; per-job results in job order."""
+        engines = [job.build() for job in self.jobs]
+        groups: Dict[int, List[int]] = {}
+        for index, engine in enumerate(engines):
+            groups.setdefault(engine.offset_bits, []).append(index)
+        elapsed = [0.0] * len(engines)
+        addresses = self.trace.addresses
+        types = self.trace.access_types
+        length = int(addresses.size)
+        for start in range(0, length, self.chunk_size):
+            stop = min(start + self.chunk_size, length)
+            addr_chunk = addresses[start:stop]
+            type_chunk: Optional[np.ndarray] = None
+            for offset_bits, members in groups.items():
+                # All shared decode work happens outside the per-engine
+                # timers, so reported timings are order-independent.
+                blocks = addr_chunk >> offset_bits
+                runs: Optional[Tuple[List[int], np.ndarray]] = None
+                if self.collapse and any(
+                    engines[index].supports_block_runs for index in members
+                ):
+                    values, counts = collapse_block_runs(blocks)
+                    # One list conversion shared by every consumer; counts
+                    # stay an ndarray (summed vectorised).
+                    runs = (values.tolist(), counts)
+                if type_chunk is None and any(
+                    engines[index].wants_access_types for index in members
+                ):
+                    type_chunk = types[start:stop]
+                for index in members:
+                    engine = engines[index]
+                    begin = time.perf_counter()
+                    if runs is not None and engine.supports_block_runs:
+                        engine.run_block_runs(runs[0], runs[1])
+                    elif engine.wants_access_types:
+                        engine.run_blocks(blocks, type_chunk)
+                    else:
+                        engine.run_blocks(blocks)
+                    elapsed[index] += time.perf_counter() - begin
+        results = []
+        for index, engine in enumerate(engines):
+            fresh = engine.finalize(trace_name=self.trace.name)
+            fresh.elapsed_seconds = elapsed[index]
+            results.append(fresh)
+        return results
+
+
 # Per-worker state installed by the pool initializer: workers inherit the
 # trace and job list once instead of re-pickling them for every job.
 _WORKER_STATE: Dict[str, Any] = {}
@@ -283,6 +379,47 @@ def _sweep_worker_init(trace: Union[Trace, Sequence[int]], jobs: Sequence[SweepJ
 def _sweep_worker_run(index: int) -> SimulationResults:
     job = _WORKER_STATE["jobs"][index]
     return _execute_job(job, _WORKER_STATE["trace"], _WORKER_STATE["chunk_size"])
+
+
+def _fused_worker_run(positions: Sequence[int]) -> Tuple[Tuple[int, ...], List[SimulationResults]]:
+    """Execute one fused batch; returns the positions with their results."""
+    jobs = _WORKER_STATE["jobs"]
+    executor = FusedSweepExecutor(
+        _WORKER_STATE["trace"],
+        [jobs[position] for position in positions],
+        _WORKER_STATE["chunk_size"],
+    )
+    return tuple(positions), executor.execute()
+
+
+def _job_decode_key(job: SweepJob) -> Tuple[int, str]:
+    """Grouping key approximating the job's decode (block size) requirements."""
+    options = dict(job.options)
+    block_size = options.get("block_size")
+    if block_size is None:
+        config = options.get("config")
+        block_size = getattr(config, "block_size", 0)
+    return int(block_size or 0), job.engine
+
+
+def _partition_fused_batches(jobs: Sequence[SweepJob], workers: int) -> List[List[int]]:
+    """Split job positions into ``workers`` batches maximising shared decode.
+
+    Positions are ordered by block size (so same-shift jobs land in the same
+    batch and share one set of decoded arrays) and split contiguously into
+    near-equal slices.  Batch contents are deterministic for a given job
+    list and worker count; merge order is unaffected because callers map
+    results back through the returned positions.
+    """
+    order = sorted(range(len(jobs)), key=lambda position: (_job_decode_key(jobs[position]), position))
+    batches: List[List[int]] = [[] for _ in range(workers)]
+    size, remainder = divmod(len(order), workers)
+    cursor = 0
+    for batch_index in range(workers):
+        take = size + (1 if batch_index < remainder else 0)
+        batches[batch_index] = order[cursor:cursor + take]
+        cursor += take
+    return [batch for batch in batches if batch]
 
 
 def _execute_job(
@@ -307,6 +444,7 @@ def run_sweep(
     mp_context: Optional[str] = None,
     store: Optional[Union[str, "os.PathLike", ResultStore]] = None,
     force: bool = False,
+    fused: bool = True,
 ) -> SweepOutcome:
     """Execute sweep jobs over ``trace``, optionally in parallel and incremental.
 
@@ -327,11 +465,19 @@ def run_sweep(
         Optional persistent result store (a :class:`~repro.store.ResultStore`
         or a directory path).  Jobs whose results are already stored for this
         trace are loaded instead of executed; fresh results are persisted the
-        moment each job finishes, so an interrupted sweep resumes paying only
-        for unfinished jobs.  The merged outcome is byte-identical to a cold
-        run.
+        moment their execution unit finishes — per job in the per-job scheme,
+        per fused pass with ``fused=True`` (one decode group per pass serially,
+        one batch per worker in parallel) — so an interrupted sweep resumes
+        paying only for unfinished work.  The merged outcome is byte-identical
+        to a cold run.
     force:
         With a store, re-execute (and overwrite) every job even when cached.
+    fused:
+        Execute missing jobs through the :class:`FusedSweepExecutor` (one
+        shared-decode pass per worker, run-length collapse for engines that
+        support it) instead of one full trace pass per job.  Output rows and
+        counters are byte-identical either way; ``fused=False`` keeps the
+        historical per-job scheme (the benchmark baseline).
     """
     job_list = list(jobs)
     if not job_list:
@@ -341,9 +487,9 @@ def run_sweep(
     keys: Optional[List[StoreKey]] = None
     results: List[Optional[SimulationResults]] = [None] * len(job_list)
     cached_jobs = 0
+    if fused or result_store is not None:
+        trace = _coerce_trace(trace)
     if result_store is not None:
-        if not isinstance(trace, Trace):
-            trace = Trace(np.fromiter((int(a) for a in trace), dtype=np.int64))
         fingerprint = trace.fingerprint()
         keys = [job.store_key(fingerprint) for job in job_list]
         if not force:
@@ -353,15 +499,39 @@ def run_sweep(
                     results[index] = cached
             cached_jobs = sum(1 for r in results if r is not None)
     missing = [index for index, loaded in enumerate(results) if loaded is None]
+
+    def persist(index: int, fresh: SimulationResults) -> None:
+        results[index] = fresh
+        if result_store is not None and keys is not None:
+            result_store.put(keys[index], fresh)
+
     if not missing:
         effective_workers = 1
     elif workers <= 1 or len(missing) == 1:
         effective_workers = 1
-        for index in missing:
-            fresh = _execute_job(job_list[index], trace, chunk_size)
-            results[index] = fresh
-            if result_store is not None and keys is not None:
-                result_store.put(keys[index], fresh)
+        if fused:
+            # With a store, run one fused pass per decode group and persist
+            # as each group finishes: cross-block-size fusion shares almost
+            # nothing (the shift and collapse are per-offset anyway), so
+            # this keeps a killed sweep's resume granularity close to
+            # per-job instead of all-or-nothing.  Storeless runs use one
+            # pass over everything.
+            if result_store is not None:
+                group_batches: Dict[Tuple[int, str], List[int]] = {}
+                for index in missing:
+                    group_batches.setdefault(_job_decode_key(job_list[index]), []).append(index)
+                batches = list(group_batches.values())
+            else:
+                batches = [missing]
+            for batch in batches:
+                executor = FusedSweepExecutor(
+                    trace, [job_list[index] for index in batch], chunk_size
+                )
+                for offset, fresh in enumerate(executor.execute()):
+                    persist(batch[offset], fresh)
+        else:
+            for index in missing:
+                persist(index, _execute_job(job_list[index], trace, chunk_size))
     else:
         context = multiprocessing.get_context(mp_context)
         effective_workers = min(workers, len(missing))
@@ -371,14 +541,23 @@ def run_sweep(
             initializer=_sweep_worker_init,
             initargs=(trace, pending, chunk_size),
         ) as pool:
-            # imap yields in submission order as results complete, so each
-            # fresh result is persisted without waiting for the whole pool —
-            # a kill mid-sweep keeps everything already finished.
-            for offset, fresh in enumerate(pool.imap(_sweep_worker_run, range(len(pending)))):
-                index = missing[offset]
-                results[index] = fresh
-                if result_store is not None and keys is not None:
-                    result_store.put(keys[index], fresh)
+            if fused:
+                # One fused batch per worker, batched to maximise shared
+                # decode; each batch's artifacts are persisted the moment
+                # the batch finishes.
+                batches = _partition_fused_batches(pending, effective_workers)
+                for positions, batch in pool.imap_unordered(_fused_worker_run, batches):
+                    for position, fresh in zip(positions, batch):
+                        persist(missing[position], fresh)
+            else:
+                # imap yields in submission order as results complete, so
+                # each fresh result is persisted without waiting for the
+                # whole pool — a kill mid-sweep keeps everything already
+                # finished.
+                for offset, fresh in enumerate(
+                    pool.imap(_sweep_worker_run, range(len(pending)))
+                ):
+                    persist(missing[offset], fresh)
     elapsed = time.perf_counter() - start
     final = [result for result in results if result is not None]
     assert len(final) == len(job_list)

@@ -16,7 +16,10 @@ The store itself (:mod:`repro.store.resultstore`) only ever needs ``get`` /
 ``gc_store``
     Remove temp files, corrupt and mis-addressed artifacts, and — given a
     keep-list of trace fingerprints — every artifact belonging to other
-    traces.  Foreign files are never touched (they are not ours to delete).
+    traces.  A ``max_bytes`` size budget additionally evicts valid
+    artifacts oldest-modification-time-first until the store fits, so long
+    campaigns stay bounded without explicit keep lists.  Foreign files are
+    never touched (they are not ours to delete).
 ``export_store`` / ``import_store``
     A manifest-based sharing format: ``export`` writes a JSON manifest
     describing every valid artifact (address, relative path, SHA-256 of the
@@ -230,13 +233,19 @@ class GcReport:
     freed_bytes: int
     dry_run: bool = False
     unmatched_keeps: Tuple[str, ...] = ()
+    budget_evicted: int = 0
 
     def summary(self) -> str:
         """One-line human-readable verdict."""
         verb = "would remove" if self.dry_run else "removed"
+        budget = (
+            f", {self.budget_evicted} evicted for the size budget"
+            if self.budget_evicted
+            else ""
+        )
         return (
             f"{verb} {len(self.removed)} file(s) ({self.freed_bytes:,} bytes), "
-            f"kept {self.kept} artifact(s)"
+            f"kept {self.kept} artifact(s){budget}"
         )
 
 
@@ -244,6 +253,7 @@ def gc_store(
     store: ResultStore,
     keep_fingerprints: Optional[Iterable[str]] = None,
     dry_run: bool = False,
+    max_bytes: Optional[int] = None,
 ) -> GcReport:
     """Remove garbage (and, with a keep-list, other traces') artifacts.
 
@@ -257,12 +267,21 @@ def gc_store(
     nothing matches at all, which empties the store (it stays valid and the
     next sweep re-simulates).  Foreign files are reported by
     :func:`verify_store` but never deleted.
+
+    ``max_bytes`` adds a *size budget*: after the keep-list filtering, valid
+    artifacts are evicted oldest-modification-time-first (ties broken by
+    path, so the order is deterministic) until the survivors' total size
+    fits the budget.  Evicted cells are only a cache loss — the next sweep
+    re-simulates them — which makes long unattended campaigns self-limiting
+    without maintaining explicit keep lists.
     """
     keep = (
         None
         if keep_fingerprints is None
         else [str(fp) for fp in keep_fingerprints if str(fp)]
     )
+    if max_bytes is not None and max_bytes < 0:
+        raise StoreError(f"size budget must be non-negative, got {max_bytes}")
     matched_keeps = set()
 
     def keep_matches(fingerprint: str) -> bool:
@@ -274,7 +293,7 @@ def gc_store(
         return hit
 
     removed: List[ArtifactRecord] = []
-    kept = 0
+    survivors: List[ArtifactRecord] = []
     for record in scan_store(store):
         if record.status in (STATUS_TEMP, STATUS_CORRUPT, STATUS_MIS_ADDRESSED):
             collect = True
@@ -283,7 +302,8 @@ def gc_store(
         else:
             collect = False
         if not collect:
-            kept += record.status == STATUS_OK
+            if record.status == STATUS_OK:
+                survivors.append(record)
             continue
         removed.append(record)
         if not dry_run:
@@ -291,6 +311,34 @@ def gc_store(
                 record.path.unlink()
             except FileNotFoundError:
                 pass
+    budget_evicted = 0
+    if max_bytes is not None:
+        total = sum(record.size_bytes for record in survivors)
+        if total > max_bytes:
+            def age_key(record: ArtifactRecord):
+                try:
+                    mtime = record.path.stat().st_mtime_ns
+                except OSError:
+                    mtime = 0
+                return (mtime, str(record.path))
+
+            by_age = sorted(survivors, key=age_key)
+            evicted = []
+            for record in by_age:
+                if total <= max_bytes:
+                    break
+                evicted.append(record)
+                total -= record.size_bytes
+                if not dry_run:
+                    try:
+                        record.path.unlink()
+                    except FileNotFoundError:
+                        pass
+            budget_evicted = len(evicted)
+            removed.extend(evicted)
+            evicted_paths = {record.path for record in evicted}
+            survivors = [r for r in survivors if r.path not in evicted_paths]
+    kept = len(survivors)
     if not dry_run:
         objects = store.root / _OBJECTS_DIR
         if objects.is_dir():
@@ -303,6 +351,49 @@ def gc_store(
         freed_bytes=sum(record.size_bytes for record in removed),
         dry_run=dry_run,
         unmatched_keeps=tuple(p for p in (keep or ()) if p not in matched_keeps),
+        budget_evicted=budget_evicted,
+    )
+
+
+def load_store_frame(
+    store: ResultStore,
+    trace_fingerprint: Optional[str] = None,
+) -> ResultsFrame:
+    """Merge every valid artifact of one trace into a single columnar frame.
+
+    ``trace_fingerprint`` may be a prefix (as printed by ``store ls``); when
+    omitted the store must contain artifacts for exactly one trace — with
+    several traces present the caller has to disambiguate, and the error
+    lists the candidate fingerprints.  Corrupt/mis-addressed/temp/foreign
+    files are skipped exactly as ``store export`` skips them.  This is the
+    data source behind ``repro-dew explore --store``.
+    """
+    artifacts = [record for record in scan_store(store) if record.status == STATUS_OK]
+    if trace_fingerprint:
+        artifacts = [
+            record
+            for record in artifacts
+            if record.trace_fingerprint.startswith(trace_fingerprint)
+        ]
+    fingerprints = sorted({record.trace_fingerprint for record in artifacts})
+    if not artifacts:
+        raise StoreError(
+            f"store {store.root} holds no valid artifacts"
+            + (f" for trace {trace_fingerprint!r}" if trace_fingerprint else "")
+        )
+    if len(fingerprints) > 1:
+        listing = ", ".join(fp[:12] for fp in fingerprints)
+        raise StoreError(
+            f"store {store.root} holds results for {len(fingerprints)} traces "
+            f"({listing}); pick one with --trace"
+        )
+    frames = []
+    for record in artifacts:
+        with open(record.path, "rb") as handle:
+            frame, _ = ResultsFrame.read_npz(handle)
+        frames.append(frame)
+    return ResultsFrame.merge(
+        frames, simulator_name="store", trace_name=fingerprints[0][:12]
     )
 
 

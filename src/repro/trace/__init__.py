@@ -22,7 +22,7 @@ The sub-modules are:
 """
 
 from repro.trace.record import MemoryAccess
-from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.trace import Trace, TraceBuilder, collapse_block_runs
 from repro.trace.din import read_din, write_din
 from repro.trace.textio import read_text_trace, write_text_trace
 from repro.trace.stats import TraceStatistics, compute_trace_statistics
@@ -37,6 +37,7 @@ __all__ = [
     "MemoryAccess",
     "Trace",
     "TraceBuilder",
+    "collapse_block_runs",
     "read_din",
     "write_din",
     "read_text_trace",

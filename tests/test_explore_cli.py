@@ -1,0 +1,167 @@
+"""Tests for the ``repro-dew explore`` CLI (Pareto front / tune)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trace.textio import write_text_trace
+from repro.workloads.synthetic import WorkingSetGenerator
+
+
+@pytest.fixture()
+def swept(tmp_path):
+    """A small sweep, materialised both as a JSON payload and a store."""
+    trace = WorkingSetGenerator(hot_bytes=1024, cold_bytes=1 << 14).generate(1200, seed=9)
+    trace_path = tmp_path / "t.csv"
+    write_text_trace(trace, trace_path, fmt="csv")
+    store_dir = tmp_path / "store"
+    json_path = tmp_path / "sweep.json"
+    args = [
+        "sweep", str(trace_path), "--block-sizes", "8,16",
+        "--associativities", "1,2", "--max-sets", "32",
+        "--store", str(store_dir), "--format", "json",
+    ]
+    assert main(args) == 0
+    return trace_path, store_dir, json_path
+
+
+@pytest.fixture()
+def swept_json(swept, tmp_path, capsys):
+    trace_path, store_dir, json_path = swept
+    capsys.readouterr()
+    assert main([
+        "sweep", str(trace_path), "--block-sizes", "8,16",
+        "--associativities", "1,2", "--max-sets", "32",
+        "--store", str(store_dir), "--format", "json",
+    ]) == 0
+    json_path.write_text(capsys.readouterr().out)
+    return trace_path, store_dir, json_path
+
+
+class TestExplorePareto:
+    def test_pareto_from_json(self, swept_json, capsys):
+        _, _, json_path = swept_json
+        assert main(["explore", "pareto", "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pareto front over (total_size, miss_rate)" in out
+
+    def test_pareto_from_store_matches_json(self, swept_json, capsys):
+        _, store_dir, json_path = swept_json
+        assert main(
+            ["explore", "pareto", "--json", str(json_path), "--format", "json"]
+        ) == 0
+        from_json = json.loads(capsys.readouterr().out)
+        assert main(
+            ["explore", "pareto", "--store", str(store_dir), "--format", "json"]
+        ) == 0
+        from_store = json.loads(capsys.readouterr().out)
+        assert from_json == from_store
+        assert from_json  # front is non-empty
+        # Front rows are non-dominated: sizes strictly increase, rates decrease.
+        sizes = [row["total_size"] for row in from_json]
+        rates = [row["miss_rate"] for row in from_json]
+        assert sizes == sorted(sizes)
+        assert rates == sorted(rates, reverse=True)
+
+    def test_pareto_custom_metrics_with_energy(self, swept_json, capsys):
+        _, _, json_path = swept_json
+        assert main([
+            "explore", "pareto", "--json", str(json_path),
+            "--metrics", "total_size,miss_rate,energy", "--format", "json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all("energy" in row for row in rows)
+
+    def test_pareto_rejects_single_metric(self, swept_json, capsys):
+        _, _, json_path = swept_json
+        assert main(["explore", "pareto", "--json", str(json_path),
+                     "--metrics", "total_size"]) == 2
+        assert "at least two metrics" in capsys.readouterr().err
+
+    def test_requires_exactly_one_source(self, swept_json, capsys):
+        _, store_dir, json_path = swept_json
+        assert main(["explore", "pareto"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+        assert main(["explore", "pareto", "--json", str(json_path),
+                     "--store", str(store_dir)]) == 2
+
+    def test_trace_filter_rejected_with_json_source(self, swept_json, capsys):
+        _, _, json_path = swept_json
+        assert main(["explore", "pareto", "--json", str(json_path),
+                     "--trace", "abc123"]) == 2
+        assert "--trace filters a --store source" in capsys.readouterr().err
+
+    def test_missing_json_is_clean_error(self, capsys):
+        assert main(["explore", "pareto", "--json", "/no/such/file.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_store_must_exist(self, tmp_path, capsys):
+        assert main(["explore", "pareto", "--store", str(tmp_path / "nope")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+
+class TestExploreTune:
+    def test_tune_from_store(self, swept_json, capsys):
+        _, store_dir, _ = swept_json
+        assert main([
+            "explore", "tune", "--store", str(store_dir),
+            "--objective", "edp", "--max-size", "2048",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "for minimal edp" in out
+        assert "#1" in out
+
+    def test_tune_top_n_json(self, swept_json, capsys):
+        _, _, json_path = swept_json
+        assert main([
+            "explore", "tune", "--json", str(json_path), "--top", "3",
+            "--format", "json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 3
+        values = [row["objective_value"] for row in rows]
+        assert values == sorted(values)
+
+    def test_tune_respects_constraints(self, swept_json, capsys):
+        _, _, json_path = swept_json
+        assert main([
+            "explore", "tune", "--json", str(json_path), "--max-size", "256",
+            "--format", "json",
+        ]) == 0
+        (row,) = json.loads(capsys.readouterr().out)
+        assert row["total_size"] <= 256
+
+    def test_unsatisfiable_constraints_error(self, swept_json, capsys):
+        _, _, json_path = swept_json
+        assert main([
+            "explore", "tune", "--json", str(json_path), "--max-size", "1",
+        ]) == 2
+        assert "no configuration satisfies" in capsys.readouterr().err
+
+
+class TestMultiTraceStores:
+    def test_ambiguous_store_requires_trace(self, swept_json, tmp_path, capsys):
+        trace_path, store_dir, _ = swept_json
+        other = WorkingSetGenerator().generate(800, seed=77)
+        other_path = tmp_path / "other.csv"
+        write_text_trace(other, other_path, fmt="csv")
+        assert main([
+            "sweep", str(other_path), "--block-sizes", "8",
+            "--associativities", "2", "--max-sets", "8",
+            "--store", str(store_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["explore", "pareto", "--store", str(store_dir)]) == 2
+        assert "pick one with --trace" in capsys.readouterr().err
+        # Disambiguate with a fingerprint prefix.
+        from repro.trace.textio import read_text_trace
+
+        with open(trace_path, "r", encoding="ascii") as handle:
+            fingerprint = read_text_trace(handle).fingerprint()
+        assert main([
+            "explore", "pareto", "--store", str(store_dir),
+            "--trace", fingerprint[:12],
+        ]) == 0

@@ -1,0 +1,249 @@
+"""Tests for the fused single-pass sweep executor and run-length collapse.
+
+The contract under test is *byte-identity*: the fused executor (shared
+decode, run-length collapse, frame-native finalize) must produce exactly the
+rows, counters and store artifacts of the historical one-pass-per-job
+scheme — serial, parallel, cold, warm and partially warm alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.dew import DewSimulator
+from repro.engine import FusedSweepExecutor, SweepJob, build_grid_jobs, get_engine, run_sweep
+from repro.engine.sweep import _partition_fused_batches
+from repro.errors import EngineError
+from repro.store import open_store
+from repro.trace.trace import Trace, collapse_block_runs
+from repro.workloads.synthetic import SequentialStream, WorkingSetGenerator
+
+SET_SIZES = (1, 2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def sweep_trace() -> Trace:
+    return WorkingSetGenerator(hot_bytes=2048, cold_bytes=1 << 16).generate(
+        4000, seed=21
+    ).with_name("fused")
+
+
+@pytest.fixture(scope="module")
+def grid_jobs():
+    return build_grid_jobs([8, 32], [1, 2, 4], SET_SIZES, policies=("fifo", "lru"))
+
+
+class TestCollapseBlockRuns:
+    def test_empty(self):
+        values, counts = collapse_block_runs(np.empty(0, dtype=np.int64))
+        assert values.size == 0 and counts.size == 0
+
+    def test_single_run(self):
+        values, counts = collapse_block_runs([7, 7, 7, 7])
+        assert values.tolist() == [7]
+        assert counts.tolist() == [4]
+
+    def test_alternating(self):
+        values, counts = collapse_block_runs([1, 2, 1, 2])
+        assert values.tolist() == [1, 2, 1, 2]
+        assert counts.tolist() == [1, 1, 1, 1]
+
+    @given(blocks=st.lists(st.integers(min_value=0, max_value=7), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_repeat_reconstructs_input(self, blocks):
+        values, counts = collapse_block_runs(blocks)
+        assert np.repeat(values, counts).tolist() == blocks
+        # Maximal runs: no two consecutive collapsed values are equal.
+        assert all(a != b for a, b in zip(values[:-1], values[1:]))
+
+    def test_iter_block_runs_matches_chunks(self):
+        trace = SequentialStream(stride=4).generate(1000, seed=0)
+        rebuilt = []
+        for values, counts in trace.iter_block_runs(4, chunk_size=77):
+            rebuilt.extend(np.repeat(values, counts).tolist())
+        expected = []
+        for chunk in trace.iter_block_chunks(4, chunk_size=77):
+            expected.extend(chunk.tolist())
+        assert rebuilt == expected
+
+
+class TestRunBlockRunsOracle:
+    """run_block_runs must be byte-identical to the uncollapsed walk."""
+
+    @given(
+        addresses=st.lists(st.integers(min_value=0, max_value=255), max_size=150),
+        enable_mra=st.booleans(),
+        enable_wave=st.booleans(),
+        enable_mre=st.booleans(),
+        associativity=st.sampled_from([1, 2, 4]),
+        chunk_size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_collapsed_matches_raw(
+        self, addresses, enable_mra, enable_wave, enable_mre, associativity, chunk_size
+    ):
+        options = dict(
+            enable_mra=enable_mra, enable_wave=enable_wave, enable_mre=enable_mre
+        )
+        trace = Trace(addresses) if addresses else Trace.empty()
+        raw = DewSimulator(8, associativity, (1, 2, 4, 8), **options)
+        raw.run(trace, chunk_size=chunk_size)
+        collapsed = DewSimulator(8, associativity, (1, 2, 4, 8), **options)
+        collapsed.run(trace, chunk_size=chunk_size, collapse=True)
+        assert collapsed.counters.as_dict() == raw.counters.as_dict()
+        assert not collapsed.results().diff(raw.results())
+        assert collapsed.results().as_rows() == raw.results().as_rows()
+
+    def test_single_block_trace(self):
+        """A trace that is one long run: one walk plus pure bulk accounting."""
+        raw = DewSimulator(16, 2, (1, 2, 4))
+        collapsed = DewSimulator(16, 2, (1, 2, 4))
+        addresses = [64] * 500
+        raw.run(addresses)
+        collapsed.run_block_runs([64 >> 4], [500])
+        assert collapsed.counters.as_dict() == raw.counters.as_dict()
+        assert collapsed.results().as_rows() == raw.results().as_rows()
+
+    def test_count_weighted_chunks_equal_any_split(self):
+        """Splitting one run across chunks costs exactly the bulk accounting."""
+        whole = DewSimulator(4, 2, (1, 2, 4))
+        split = DewSimulator(4, 2, (1, 2, 4))
+        whole.run_block_runs([9, 9], [6, 1])  # same block: split run
+        split.run_block_runs([9], [7])
+        assert whole.counters.as_dict() == split.counters.as_dict()
+        assert whole.results().as_rows() == split.results().as_rows()
+
+    def test_rejects_non_positive_counts(self):
+        simulator = DewSimulator(4, 2, (1, 2))
+        with pytest.raises(Exception):
+            simulator.run_block_runs([1, 2], [1, 0])
+
+    def test_rejects_mismatched_lengths(self):
+        from repro.errors import SimulationError
+
+        simulator = DewSimulator(4, 2, (1, 2))
+        with pytest.raises(SimulationError, match="mismatch"):
+            simulator.run_block_runs([1, 2], [3])
+        # A rejected chunk must not have touched any counter.
+        assert simulator.counters.requests == 0
+
+
+class TestDewEngineCollapse:
+    def test_collapse_engine_matches_plain(self, sweep_trace):
+        plain = get_engine("dew", block_size=16, associativity=4, set_sizes=SET_SIZES)
+        fast = get_engine(
+            "dew", block_size=16, associativity=4, set_sizes=SET_SIZES, collapse=True
+        )
+        plain_results = plain.run(sweep_trace)
+        fast_results = fast.run(sweep_trace)
+        assert fast_results.as_rows() == plain_results.as_rows()
+        assert fast.counters.as_dict() == plain.counters.as_dict()
+
+    def test_non_run_engines_reject_collapsed_chunks(self):
+        engine = get_engine("lru-stack", block_size=16, capacities=(1, 2))
+        with pytest.raises(EngineError, match="run-length"):
+            engine.run_block_runs([1], [3])
+
+
+class TestFinalizeFrame:
+    def test_dew_finalize_frame_matches_finalize(self, sweep_trace):
+        engine = get_engine("dew", block_size=16, associativity=4, set_sizes=SET_SIZES)
+        engine.run(sweep_trace)
+        frame = engine.finalize_frame(trace_name="t")
+        results = engine.finalize(trace_name="t")
+        assert [r.as_dict() for r in frame] == results.as_rows()
+        assert frame.simulator_name == "dew"
+
+    def test_single_finalize_frame_matches_finalize(self, sweep_trace):
+        from repro.core.config import CacheConfig
+
+        engine = get_engine("single", config=CacheConfig(8, 2, 16))
+        engine.run(sweep_trace)
+        frame = engine.finalize_frame(trace_name="t")
+        results = engine.finalize(trace_name="t")
+        assert [r.as_dict() for r in frame] == results.as_rows()
+
+    def test_default_finalize_frame_adapts_finalize(self, sweep_trace):
+        engine = get_engine(
+            "janapsatya", block_size=16, associativities=(1, 2), set_sizes=(1, 2, 4)
+        )
+        engine.run(sweep_trace)
+        frame = engine.finalize_frame(trace_name="t")
+        assert [r.as_dict() for r in frame] == engine.finalize(trace_name="t").as_rows()
+
+
+class TestFusedSweepIdentity:
+    def test_fused_matches_per_job_serial(self, sweep_trace, grid_jobs):
+        baseline = run_sweep(sweep_trace, grid_jobs, fused=False)
+        fused = run_sweep(sweep_trace, grid_jobs, fused=True)
+        assert fused.as_rows() == baseline.as_rows()
+        assert fused.merged().to_json() == baseline.merged().to_json()
+        for fused_result, base_result in zip(fused.results, baseline.results):
+            assert fused_result.counters.as_dict() == base_result.counters.as_dict()
+
+    def test_fused_matches_per_job_parallel(self, sweep_trace, grid_jobs):
+        baseline = run_sweep(sweep_trace, grid_jobs, fused=False)
+        fused = run_sweep(sweep_trace, grid_jobs, fused=True, workers=2)
+        assert fused.as_rows() == baseline.as_rows()
+
+    def test_fused_accepts_bare_address_sequences(self, small_random_addresses):
+        jobs = build_grid_jobs([8], [2], (1, 2, 4))
+        baseline = run_sweep(list(small_random_addresses), jobs, fused=False)
+        fused = run_sweep(list(small_random_addresses), jobs, fused=True)
+        assert fused.as_rows() == baseline.as_rows()
+
+    def test_executor_requires_jobs(self, sweep_trace):
+        with pytest.raises(EngineError, match="at least one job"):
+            FusedSweepExecutor(sweep_trace, [])
+
+    def test_partition_batches_cover_all_positions(self, grid_jobs):
+        for workers in (1, 2, 3, len(grid_jobs)):
+            batches = _partition_fused_batches(grid_jobs, workers)
+            flattened = sorted(position for batch in batches for position in batch)
+            assert flattened == list(range(len(grid_jobs)))
+            assert len(batches) <= workers
+
+    def test_fused_store_resume_byte_identity(self, tmp_path, sweep_trace, grid_jobs):
+        store = open_store(tmp_path / "store")
+        cold = run_sweep(sweep_trace, grid_jobs, store=store)
+        assert cold.executed_jobs == len(grid_jobs)
+        warm = run_sweep(sweep_trace, grid_jobs, store=store)
+        assert warm.executed_jobs == 0
+        assert warm.as_rows() == cold.as_rows()
+        # Kill one artifact: only that job re-runs, rows stay identical.
+        fingerprint = sweep_trace.fingerprint()
+        assert store.delete(grid_jobs[1].store_key(fingerprint))
+        partial = run_sweep(sweep_trace, grid_jobs, store=store)
+        assert partial.executed_jobs == 1
+        assert partial.cached_jobs == len(grid_jobs) - 1
+        assert partial.as_rows() == cold.as_rows()
+
+    def test_fused_store_matches_per_job_store(self, tmp_path, sweep_trace, grid_jobs):
+        """A store written per-job warms a fused sweep and vice versa."""
+        store = open_store(tmp_path / "store")
+        per_job = run_sweep(sweep_trace, grid_jobs, store=store, fused=False)
+        warm_fused = run_sweep(sweep_trace, grid_jobs, store=store, fused=True)
+        assert warm_fused.executed_jobs == 0
+        assert warm_fused.as_rows() == per_job.as_rows()
+
+
+class TestSweepCliFused:
+    def test_cli_no_fused_is_byte_identical(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.csv"
+        trace = WorkingSetGenerator().generate(1500, seed=4)
+        from repro.trace.textio import write_text_trace
+
+        write_text_trace(trace, trace_path, fmt="csv")
+        args = [
+            "sweep", str(trace_path), "--block-sizes", "8,16",
+            "--associativities", "1,2", "--max-sets", "32", "--policies", "fifo,lru",
+        ]
+        assert main(args) == 0
+        fused_out = capsys.readouterr().out
+        assert main(args + ["--no-fused"]) == 0
+        per_job_out = capsys.readouterr().out
+        assert fused_out == per_job_out

@@ -175,6 +175,85 @@ class TestGcStore:
         assert "would remove" in report.summary()
 
 
+class TestGcSizeBudget:
+    def _aged_store(self, tmp_path, count=4):
+        """A store of ``count`` artifacts with strictly increasing mtimes."""
+        import os
+
+        store = open_store(tmp_path)
+        paths = []
+        for index in range(count):
+            path = store.put(_key(block_size=2 ** (index + 2)), _results())
+            # Deterministic, widely spaced mtimes: oldest first.
+            os.utime(path, (1_000_000 + index * 1000, 1_000_000 + index * 1000))
+            paths.append(path)
+        return store, paths
+
+    def test_oldest_artifacts_evicted_first(self, tmp_path):
+        store, paths = self._aged_store(tmp_path)
+        sizes = [path.stat().st_size for path in paths]
+        budget = sizes[2] + sizes[3]  # room for exactly the two newest
+        report = gc_store(store, max_bytes=budget)
+        assert report.budget_evicted == 2
+        assert [record.path for record in report.removed] == paths[:2]
+        assert not paths[0].is_file() and not paths[1].is_file()
+        assert paths[2].is_file() and paths[3].is_file()
+        assert report.kept == 2
+        assert "evicted for the size budget" in report.summary()
+
+    def test_budget_already_satisfied_evicts_nothing(self, tmp_path):
+        store, paths = self._aged_store(tmp_path)
+        report = gc_store(store, max_bytes=sum(p.stat().st_size for p in paths))
+        assert report.budget_evicted == 0
+        assert report.removed == ()
+        assert report.kept == len(paths)
+
+    def test_zero_budget_empties_store_but_keeps_it_valid(self, tmp_path, cjpeg_trace):
+        store = open_store(tmp_path)
+        jobs = build_grid_jobs([16], [2], (1, 2, 4))
+        run_sweep(cjpeg_trace, jobs, store=store)
+        report = gc_store(store, max_bytes=0)
+        assert report.kept == 0
+        assert len(store) == 0
+        again = run_sweep(cjpeg_trace, jobs, store=store)
+        assert again.executed_jobs == len(jobs)
+
+    def test_budget_dry_run_deletes_nothing(self, tmp_path):
+        store, paths = self._aged_store(tmp_path)
+        report = gc_store(store, max_bytes=0, dry_run=True)
+        assert report.budget_evicted == len(paths)
+        assert all(path.is_file() for path in paths)
+
+    def test_budget_applies_after_keep_filter(self, tmp_path):
+        """Artifacts dropped by the keep-list do not count against the budget."""
+        store = open_store(tmp_path)
+        import os
+
+        keep_path = store.put(_key("a" * 64), _results())
+        drop_path = store.put(_key("b" * 64), _results())
+        os.utime(keep_path, (2_000_000, 2_000_000))
+        os.utime(drop_path, (1_000_000, 1_000_000))
+        budget = keep_path.stat().st_size
+        report = gc_store(store, keep_fingerprints=["a" * 12], max_bytes=budget)
+        assert report.budget_evicted == 0
+        assert keep_path.is_file() and not drop_path.is_file()
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="non-negative"):
+            gc_store(open_store(tmp_path), max_bytes=-1)
+
+    def test_cli_max_bytes(self, tmp_path, capsys):
+        store, paths = self._aged_store(tmp_path)
+        budget = sum(path.stat().st_size for path in paths[1:])
+        assert main([
+            "store", "gc", str(store.root), "--max-bytes", str(budget),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 evicted for the size budget" in out
+        assert not paths[0].is_file()
+        assert all(path.is_file() for path in paths[1:])
+
+
 class TestExportImport:
     def test_empty_store_round_trip(self, tmp_path):
         store = open_store(tmp_path / "a")
