@@ -1,0 +1,32 @@
+"""Service throughput benchmark: concurrent clients, dedup ratio, latency.
+
+Runs a complete service (daemon thread + N client threads submitting
+overlapping sweeps) and writes the measured dedup/latency figures to
+``BENCH_PR5.json`` (via the ``pr5_report`` fixture) so CI can archive the
+serving layer's behaviour over time, next to the PR1-4 speedup trajectory.
+"""
+
+from __future__ import annotations
+
+from repro.bench.service import run_service_benchmark
+
+
+def test_service_throughput_dedups_and_serves_identically(pr5_report):
+    report = run_service_benchmark(
+        clients=4, submissions_per_client=4, trace_length=4000
+    )
+    # Every submission reached a result and nothing failed.
+    assert report["jobs_failed"] == 0
+    assert report["jobs_done"] == report["distinct_jobs"]
+    # The overlapping schedule must coalesce: 16 submissions cover only the
+    # request pool's 4 distinct jobs, so at least half are deduped.
+    assert report["distinct_jobs"] == 4
+    assert report["coalesced_submissions"] >= report["submissions"] // 2
+    assert report["dedup_ratio"] >= 0.5
+    # Cross-job cell reuse: the pool's grids share cells, so some cells are
+    # served from the store instead of re-simulated.
+    assert report["cells_cached"] > 0
+    # Serving must not bend results: every payload equals its direct run.
+    assert report["byte_identical_to_direct"] is True
+    assert report["latency_p95_seconds"] >= report["latency_p50_seconds"] > 0
+    pr5_report.update(report)

@@ -41,6 +41,24 @@ def pr4_report():
 
 
 @pytest.fixture(scope="session")
+def pr5_report():
+    """Collector for the service throughput benchmark's measurements.
+
+    Written as ``BENCH_PR5.json`` (path overridable via ``REPRO_BENCH_PR5``)
+    at session end: submissions, dedup ratio, cell reuse and p50/p95
+    submit-to-done latency — the serving layer's counterpart to the
+    BENCH_PR4 speedup trajectory.
+    """
+    data = {}
+    yield data
+    if data:
+        path = os.environ.get("REPRO_BENCH_PR5", "BENCH_PR5.json")
+        with open(path, "w", encoding="ascii") as handle:
+            json.dump(dict(sorted(data.items())), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+@pytest.fixture(scope="session")
 def experiment_runner() -> ExperimentRunner:
     """The paper's evaluation grid at a Python-tractable trace length."""
     return ExperimentRunner(

@@ -11,6 +11,9 @@
     reduction).
 ``timing``
     Small timing utilities shared by the benchmarks.
+``service``
+    Throughput benchmark for the simulation service (concurrent clients,
+    dedup ratio, p50/p95 submit-to-done latency).
 """
 
 from repro.bench.harness import ExperimentCell, ExperimentRunner, PropertyCell, default_request_budget
@@ -27,9 +30,11 @@ from repro.bench.figures import (
     comparison_reduction_series,
     series_as_rows,
 )
+from repro.bench.service import run_service_benchmark
 from repro.bench.timing import Timer
 
 __all__ = [
+    "run_service_benchmark",
     "ExperimentCell",
     "ExperimentRunner",
     "PropertyCell",

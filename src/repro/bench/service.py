@@ -1,0 +1,162 @@
+"""Service throughput benchmark: concurrent clients, overlapping sweeps.
+
+:func:`run_service_benchmark` stands up a complete service in a temporary
+directory — a daemon thread draining the queue, plus N client threads each
+submitting a schedule of *overlapping* sweep requests — and measures what
+the serving layer is for:
+
+* **dedup ratio** — the fraction of submissions that cost zero new
+  simulation because an identical job was already queued, running or done;
+* **cell reuse** — cells loaded from the store (or coalesced in flight)
+  instead of simulated, across *different* jobs sharing grid cells;
+* **latency** — per-submission submit-to-terminal-state wall time, reported
+  as p50/p95 (clients poll, so these include the polling transport's
+  overhead, exactly as a real client would see it).
+
+The workload is deliberately skewed the way interactive design-space
+exploration is: every client asks for a handful of grid variants drawn from
+a small pool, so most submissions collide with earlier ones.  Correctness
+is asserted, not assumed — every served payload must be byte-identical to
+the same request's direct :func:`~repro.engine.sweep.run_sweep` execution.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.engine.sweep import run_sweep
+from repro.errors import ReproError
+from repro.service.api import ServiceClient, SweepRequest
+from repro.service.daemon import ServiceDaemon
+from repro.trace.files import load_trace_file
+from repro.trace.textio import write_text_trace
+from repro.workloads.synthetic import WorkingSetGenerator
+
+
+def _default_request_pool(trace_path: str) -> List[SweepRequest]:
+    """A small pool of overlapping grids (shared cells between variants)."""
+    return [
+        SweepRequest(trace_path, block_sizes=(8, 16), associativities=(1, 2),
+                     max_sets=64, policies=("fifo",)),
+        SweepRequest(trace_path, block_sizes=(8,), associativities=(1, 2),
+                     max_sets=64, policies=("fifo",)),
+        SweepRequest(trace_path, block_sizes=(8, 16), associativities=(1, 2),
+                     max_sets=64, policies=("fifo", "lru")),
+        SweepRequest(trace_path, block_sizes=(16,), associativities=(1, 2),
+                     max_sets=64, policies=("lru",)),
+    ]
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation surprises)."""
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def run_service_benchmark(
+    clients: int = 4,
+    submissions_per_client: int = 4,
+    trace_length: int = 4000,
+    seed: int = 2010,
+    root: Optional[Union[str, os.PathLike]] = None,
+    timeout: float = 120.0,
+    verify_identity: bool = True,
+) -> Dict[str, Any]:
+    """N concurrent clients submitting overlapping sweeps to one daemon.
+
+    Returns a JSON-able report: submission/dedup accounting, store cell
+    reuse, p50/p95 submit-to-done latency, total wall time and (with
+    ``verify_identity=True``) confirmation that every distinct request's
+    served payload equals its direct ``run_sweep`` execution.
+    """
+    with tempfile.TemporaryDirectory() as scratch:
+        base = str(root) if root is not None else scratch
+        trace_path = os.path.join(base, "bench-trace.csv")
+        trace = WorkingSetGenerator(hot_bytes=4096, cold_bytes=1 << 16).generate(
+            trace_length, seed=seed
+        )
+        write_text_trace(trace, trace_path, fmt="csv")
+        service_root = os.path.join(base, "service")
+        ServiceClient(service_root, create=True)
+        pool = _default_request_pool(trace_path)
+        loaded = load_trace_file(trace_path)
+
+        daemon = ServiceDaemon(service_root, poll_interval=0.005)
+        daemon_thread = threading.Thread(
+            target=daemon.run, kwargs={"drain": False}, daemon=True
+        )
+
+        latencies: List[float] = []
+        latency_lock = threading.Lock()
+        client_errors: List[BaseException] = []
+
+        def run_client(client_index: int) -> None:
+            try:
+                client = ServiceClient(service_root)
+                for submission in range(submissions_per_client):
+                    request = pool[(client_index + submission) % len(pool)]
+                    begin = time.perf_counter()
+                    response = client.submit(request, trace=loaded)
+                    client.wait(response["job_id"], timeout=timeout,
+                                poll_interval=0.005)
+                    elapsed = time.perf_counter() - begin
+                    with latency_lock:
+                        latencies.append(elapsed)
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                client_errors.append(exc)
+
+        wall_start = time.perf_counter()
+        daemon_thread.start()
+        client_threads = [
+            threading.Thread(target=run_client, args=(index,))
+            for index in range(clients)
+        ]
+        for thread in client_threads:
+            thread.start()
+        for thread in client_threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - wall_start
+        daemon.stop()
+        daemon_thread.join(timeout=30)
+        if client_errors:
+            raise ReproError(f"benchmark client failed: {client_errors[0]}")
+
+        client = ServiceClient(service_root)
+        stats = client.stats()
+        identical = None
+        if verify_identity:
+            identical = True
+            for request in pool:
+                job_id = request.canonical_job_id(loaded.fingerprint())
+                served = client.result_text(job_id)
+                direct = run_sweep(loaded, request.build_jobs()).merged().to_json()
+                identical = identical and (served == direct)
+
+        total_submissions = clients * submissions_per_client
+        distinct_jobs = stats["distinct_jobs"]
+        return {
+            "clients": clients,
+            "submissions": total_submissions,
+            "distinct_jobs": distinct_jobs,
+            "coalesced_submissions": stats["coalesced_submissions"],
+            "dedup_ratio": stats["dedup_ratio"],
+            "cells_executed": daemon.cells_executed,
+            "cells_cached": daemon.cells_cached,
+            "jobs_done": daemon.jobs_done,
+            "jobs_failed": daemon.jobs_failed,
+            "latency_p50_seconds": round(_percentile(latencies, 0.50), 6),
+            "latency_p95_seconds": round(_percentile(latencies, 0.95), 6),
+            "latency_mean_seconds": round(statistics.fmean(latencies), 6)
+            if latencies
+            else 0.0,
+            "wall_seconds": round(wall_seconds, 6),
+            "byte_identical_to_direct": identical,
+        }

@@ -31,6 +31,18 @@ Installed as ``repro-dew``.  Subcommands:
     ``store gc`` (collect garbage, optionally keeping only listed trace
     fingerprints) and ``store export`` / ``store import`` (manifest-based,
     rsync-able cross-machine sharing).
+``serve``
+    Run the simulation service daemon over a service directory: drains the
+    durable job queue through the fused sweep executor, coalescing
+    duplicate and already-stored work.
+``submit`` / ``status`` / ``result`` / ``cancel``
+    Client commands against a service directory (polling-file transport).
+    ``submit`` enqueues a sweep grid (idempotent per canonical identity;
+    ``--wait`` polls to completion), ``result`` prints a completed job's
+    payload — byte-identical to a direct ``sweep --format json`` run.
+``queue``
+    Inspect a service: ``queue ls`` (jobs per state) and ``queue stats``
+    (counts, dedup ratio, daemon heartbeat).
 ``reproduce``
     Regenerate the paper's tables and figures (scaled-down traces).
 
@@ -42,7 +54,6 @@ one-line error instead of a traceback.
 from __future__ import annotations
 
 import argparse
-import gzip
 import json
 import os
 import sys
@@ -54,17 +65,20 @@ from repro.bench.harness import ExperimentRunner
 from repro.bench.tables import format_table1, format_table2, format_table3, format_table4
 from repro.cache.dinero import DineroStyleRunner
 from repro.core.config import CacheConfig
-from repro.core.results import ResultsFrame
+from repro.core.results import ResultsFrame, SimulationResults
 from repro.engine import build_grid_jobs, get_engine, run_sweep
 from repro.errors import (
     ConfigurationError,
     ExplorationError,
     ReproError,
+    ServiceError,
     SimulationError,
     StoreError,
-    TraceError,
 )
 from repro.explore import CacheTuner, EnergyModel, TuningConstraints, pareto_front_frame
+from repro.service import ServiceClient, ServiceDaemon, SweepRequest
+from repro.service.api import doubling_set_sizes
+from repro.service.queue import JOB_STATES
 from repro.store import open_store
 from repro.store.manage import (
     DEFAULT_MANIFEST_NAME,
@@ -74,37 +88,20 @@ from repro.store.manage import (
     load_store_frame,
     verify_store,
 )
-from repro.trace.din import read_din, write_din
-from repro.trace.textio import read_text_trace, write_text_trace
+from repro.trace.din import write_din
+from repro.trace.files import load_trace_file
+from repro.trace.textio import write_text_trace
 from repro.trace.trace import Trace
 from repro.types import ReplacementPolicy
 from repro.verify.crosscheck import cross_check
 from repro.workloads.mediabench import PAPER_REQUEST_COUNTS, mediabench_trace
 
 
-def _load_trace(path: str) -> Trace:
-    """Load a ``.din``/CSV/hex trace, transparently decompressing ``.gz`` files."""
-    compressed = path.endswith(".gz")
-    stem = path[:-3] if compressed else path
-    opener = gzip.open if compressed else open
-    try:
-        with opener(path, "rt", encoding="ascii") as handle:
-            trace = read_din(handle) if stem.endswith(".din") else read_text_trace(handle)
-    except FileNotFoundError:
-        raise TraceError(f"trace file not found: {path}") from None
-    except (OSError, UnicodeDecodeError) as exc:
-        raise TraceError(f"could not read trace file {path}: {exc}") from exc
-    name = os.path.splitext(os.path.basename(stem))[0]
-    return trace.with_name(name) if name else trace
+#: Trace loading is shared with the service daemon; see repro.trace.files.
+_load_trace = load_trace_file
 
-
-def _set_sizes(max_sets: int) -> List[int]:
-    sizes = []
-    size = 1
-    while size <= max_sets:
-        sizes.append(size)
-        size *= 2
-    return sizes
+#: The power-of-two set-size ladder is shared with the service request layer.
+_set_sizes = doubling_set_sizes
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -169,6 +166,17 @@ def _parse_int_list(text: str, what: str) -> List[int]:
     return values
 
 
+def _print_result_rows(merged) -> None:
+    """The per-configuration text lines shared by ``sweep`` and ``result``."""
+    for result in merged:
+        config = result.config
+        print(
+            f"  S={config.num_sets:<6} A={config.associativity:<3} B={config.block_size:<3} "
+            f"policy={config.policy.value:<6} misses={result.misses:<10,} "
+            f"miss_rate={result.miss_rate:.4f}"
+        )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     jobs = build_grid_jobs(
@@ -195,13 +203,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(merged.to_json())
     else:
         print(f"sweep: {len(trace):,} requests, {len(jobs)} jobs, {len(merged)} configurations")
-        for result in merged:
-            config = result.config
-            print(
-                f"  S={config.num_sets:<6} A={config.associativity:<3} B={config.block_size:<3} "
-                f"policy={config.policy.value:<6} misses={result.misses:<10,} "
-                f"miss_rate={result.miss_rate:.4f}"
-            )
+        _print_result_rows(merged)
     if store is not None:
         print(
             f"store: {outcome.cached_jobs} job(s) from cache, "
@@ -301,10 +303,25 @@ def _explore_frame(args: argparse.Namespace) -> ResultsFrame:
     """The columnar result set an ``explore`` sub-command operates on.
 
     Sources are mutually exclusive: ``--json`` (a ``sweep --format json``
-    payload) or ``--store`` (every valid artifact of one trace, merged).
+    payload), ``--store`` (every valid artifact of one trace, merged) or
+    ``--service`` + ``--job`` (a completed service job's frame).
     """
-    if bool(args.json) == bool(args.store):
-        raise ExplorationError("explore needs exactly one of --json FILE or --store DIR")
+    service = getattr(args, "service", None)
+    chosen = sum(1 for source in (args.json, args.store, service) if source)
+    if chosen != 1:
+        raise ExplorationError(
+            "explore needs exactly one of --json FILE, --store DIR or "
+            "--service DIR --job ID"
+        )
+    if service:
+        if not getattr(args, "job", None):
+            raise ExplorationError("--service needs --job ID (see 'queue ls')")
+        try:
+            return ServiceClient(service).result_frame(args.job)
+        except ServiceError as exc:
+            raise ExplorationError(str(exc)) from exc
+    if getattr(args, "job", None):
+        raise ExplorationError("--job selects a --service job")
     if args.json:
         if args.trace:
             raise ExplorationError(
@@ -414,6 +431,144 @@ def _cmd_explore_tune(args: argparse.Namespace) -> int:
             f"size={row['total_size']:,} miss_rate={row['miss_rate']:.4f} "
             f"energy={row['total_energy_nj']:.1f}nJ amat={row['average_access_time_ns']:.3f}ns"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    daemon = ServiceDaemon(
+        args.service_dir,
+        store=args.store,
+        workers=args.workers,
+        sweep_workers=args.sweep_workers,
+        poll_interval=args.poll,
+    )
+    print(
+        f"serving {args.service_dir} "
+        f"(store: {daemon.store.root}, {daemon.workers} worker(s))",
+        file=sys.stderr,
+    )
+    try:
+        finished = daemon.run(drain=args.drain, max_jobs=args.max_jobs)
+    except KeyboardInterrupt:
+        # A mid-job interrupt leaves that job in 'running'; the next serve
+        # run re-queues it and the store-backed re-run pays only for cells
+        # that were not yet persisted.
+        print("interrupted; queued work resumes on the next serve", file=sys.stderr)
+        return 130
+    print(f"served {finished} job(s)", file=sys.stderr)
+    return 0
+
+
+def _submit_request(args: argparse.Namespace) -> SweepRequest:
+    return SweepRequest(
+        trace_path=os.path.abspath(args.trace),
+        block_sizes=tuple(_parse_int_list(args.block_sizes, "block size")),
+        associativities=tuple(_parse_int_list(args.associativities, "associativity")),
+        max_sets=args.max_sets,
+        policies=tuple(token for token in args.policies.split(",") if token.strip()),
+        seed=args.seed,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.service_dir, create=True)
+    response = client.submit(_submit_request(args), priority=args.priority)
+    if args.wait:
+        record = client.wait(response["job_id"], timeout=args.timeout)
+        response["state"] = record.state
+        if record.error:
+            response["error"] = record.error
+    if args.format == "json":
+        print(json.dumps(response, indent=2))
+    else:
+        verb = "coalesced onto" if response["deduped"] else "queued as"
+        print(f"{verb} job {response['job_id'][:12]} ({response['state']})")
+        if response.get("error"):
+            print(f"error: {response['error']}", file=sys.stderr)
+    if args.wait and response["state"] != "done":
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    response = ServiceClient(args.service_dir).status(args.job)
+    if args.format == "json":
+        print(json.dumps(response, indent=2))
+        return 0
+    job = response["job"]
+    line = (
+        f"job {job['id'][:12]}: {job['state']}  "
+        f"cells {job['cells_done']}/{job['cells_total']} "
+        f"({job['cells_cached']} cached)  attempts={job['attempts']}"
+    )
+    if job.get("error"):
+        line += f"  error: {job['error']}"
+    print(line)
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.service_dir)
+    payload = client.result_text(args.job)
+    if args.format == "json":
+        # The stored payload verbatim: byte-identical to what a direct
+        # `sweep --format json` over the same grid prints.
+        print(payload)
+        return 0
+    frame = client.result_frame(args.job)
+    print(f"job {client.queue.find(args.job).id[:12]}: {len(frame)} configurations")
+    _print_result_rows(SimulationResults.from_frame(frame))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    response = ServiceClient(args.service_dir).cancel(args.job)
+    if args.format == "json":
+        print(json.dumps(response, indent=2))
+    else:
+        print(f"cancelled job {response['job']['id'][:12]}")
+    return 0
+
+
+def _cmd_queue_ls(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.service_dir)
+    jobs = client.jobs(state=args.state)
+    if args.format == "json":
+        print(json.dumps(jobs, indent=2))
+        return 0
+    print(f"service {args.service_dir}: {len(jobs)} job(s)")
+    for job in jobs:
+        print(
+            f"  {job['id'][:12]}  {job['state']:<9} prio={job['priority']:<3} "
+            f"cells={job['cells_done']}/{job['cells_total']} "
+            f"trace={str(job['request'].get('trace_path', '?')).rsplit('/', 1)[-1]}"
+        )
+    return 0
+
+
+def _cmd_queue_stats(args: argparse.Namespace) -> int:
+    response = ServiceClient(args.service_dir).stats()
+    if args.format == "json":
+        print(json.dumps(response, indent=2))
+        return 0
+    counts = response["queue"]
+    states = ", ".join(f"{counts[state]} {state}" for state in JOB_STATES)
+    print(f"queue: {states}")
+    print(
+        f"submissions: {response['submissions']} "
+        f"({response['coalesced_submissions']} coalesced, "
+        f"dedup ratio {response['dedup_ratio']:.2f})"
+    )
+    daemon = response.get("daemon")
+    if daemon:
+        print(
+            f"daemon: pid {daemon.get('pid')}, {daemon.get('jobs_done', 0)} done, "
+            f"{daemon.get('jobs_failed', 0)} failed, "
+            f"{daemon.get('cells_executed', 0)} cells executed, "
+            f"{daemon.get('cells_cached', 0)} cached"
+        )
+    else:
+        print("daemon: no heartbeat")
     return 0
 
 
@@ -527,6 +682,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--trace", default=None, metavar="FP",
                          help="with --store: trace fingerprint prefix "
                               "(as printed by 'store ls')")
+        sub.add_argument("--service", default=None, metavar="DIR",
+                         help="service directory; explore a completed job's results")
+        sub.add_argument("--job", default=None, metavar="ID",
+                         help="with --service: job id or prefix (see 'queue ls')")
         sub.add_argument("--format", choices=("text", "json"), default="text",
                          help="output format")
 
@@ -600,6 +759,89 @@ def build_parser() -> argparse.ArgumentParser:
     store_import.add_argument("store_dir", help="destination result store directory")
     store_import.add_argument("manifest", help="manifest written by 'store export'")
     store_import.set_defaults(func=_cmd_store_import)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the simulation service daemon over a service directory",
+    )
+    serve.add_argument("service_dir", help="service directory (created if missing)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="result store backing execution "
+                            "(default: <service_dir>/store)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="jobs executed concurrently (bounded worker pool)")
+    serve.add_argument("--sweep-workers", type=int, default=1,
+                       help="process fan-out within each job's sweep")
+    serve.add_argument("--poll", type=float, default=0.1, metavar="SECONDS",
+                       help="idle sleep between scheduler ticks")
+    serve.add_argument("--drain", action="store_true",
+                       help="exit once the queue is empty (batch mode)")
+    serve.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                       help="exit after finishing N jobs")
+    serve.set_defaults(func=_cmd_serve)
+
+    def add_service_client_arguments(sub: argparse.ArgumentParser, with_job: bool) -> None:
+        sub.add_argument("service_dir", help="service directory")
+        if with_job:
+            sub.add_argument("job", help="job id or unique prefix (see 'queue ls')")
+        sub.add_argument("--format", choices=("text", "json"), default="text",
+                         help="output format")
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a sweep to the service (idempotent; duplicates are coalesced)",
+    )
+    submit.add_argument("service_dir", help="service directory (created if missing)")
+    submit.add_argument("trace", help="trace file (.din, .csv or hex list; .gz accepted)")
+    submit.add_argument("--block-sizes", default="4,16,64",
+                        help="comma-separated block sizes in bytes")
+    submit.add_argument("--associativities", default="1,4,8",
+                        help="comma-separated associativities")
+    submit.add_argument("--max-sets", type=int, default=16384,
+                        help="largest number of sets (sweep doubles from 1)")
+    submit.add_argument("--policies", default="fifo",
+                        help="comma-separated replacement policies (fifo, lru, random, plru)")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="seed for stochastic policies")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher-priority jobs are claimed first")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job reaches a final state")
+    submit.add_argument("--timeout", type=float, default=300.0, metavar="SECONDS",
+                        help="with --wait: give up after this long")
+    submit.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = subparsers.add_parser("status", help="show one service job's state and progress")
+    add_service_client_arguments(status, with_job=True)
+    status.set_defaults(func=_cmd_status)
+
+    result = subparsers.add_parser(
+        "result",
+        help="print a completed job's results (json output is byte-identical "
+             "to a direct 'sweep --format json' run)",
+    )
+    add_service_client_arguments(result, with_job=True)
+    result.set_defaults(func=_cmd_result)
+
+    cancel = subparsers.add_parser("cancel", help="cancel a queued service job")
+    add_service_client_arguments(cancel, with_job=True)
+    cancel.set_defaults(func=_cmd_cancel)
+
+    queue = subparsers.add_parser("queue", help="inspect a service's job queue")
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+
+    queue_ls = queue_sub.add_parser("ls", help="list the service's jobs")
+    add_service_client_arguments(queue_ls, with_job=False)
+    queue_ls.add_argument("--state", choices=JOB_STATES, default=None,
+                          help="only jobs in this state")
+    queue_ls.set_defaults(func=_cmd_queue_ls)
+
+    queue_stats = queue_sub.add_parser(
+        "stats", help="queue counts, dedup ratio and daemon heartbeat")
+    add_service_client_arguments(queue_stats, with_job=False)
+    queue_stats.set_defaults(func=_cmd_queue_stats)
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's tables and figures")
     reproduce.add_argument("--requests", type=int, default=None,

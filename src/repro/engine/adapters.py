@@ -31,7 +31,7 @@ from repro.core.counters import DewCounters
 from repro.core.dew import DewSimulator
 from repro.core.results import ConfigResult, ResultsFrame, SimulationResults, policy_code
 from repro.engine.base import Engine, register_engine
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.lru.janapsatya import JanapsatyaSimulator
 from repro.lru.stack import StackDistanceEngine
 from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
@@ -177,7 +177,15 @@ class SingleConfigEngine(Engine):
 
 @register_engine("janapsatya")
 class JanapsatyaEngine(Engine):
-    """Single-pass multi-configuration LRU simulation (Janapsatya-style)."""
+    """Single-pass multi-configuration LRU simulation (Janapsatya-style).
+
+    Accepts run-length-collapsed chunks: an immediately-repeated block hits
+    at the MRU position of every level's set (a universal hit, no recency
+    movement), so only each run's head needs the walk — see
+    :meth:`repro.lru.janapsatya.JanapsatyaSimulator.run_block_runs`.
+    """
+
+    supports_block_runs = True
 
     def __init__(
         self,
@@ -197,6 +205,9 @@ class JanapsatyaEngine(Engine):
 
     def run_blocks(self, blocks: BlockChunk, access_types: TypeChunk = None) -> None:
         self.simulator.run_blocks(blocks)
+
+    def run_block_runs(self, values: BlockChunk, counts: BlockChunk) -> None:
+        self.simulator.run_block_runs(values, counts)
 
     def finalize(self, trace_name: str = "trace") -> SimulationResults:
         return self.simulator.results(trace_name=trace_name)
@@ -237,6 +248,35 @@ class CrcbJanapsatyaEngine(JanapsatyaEngine):
             keep[0] = False
         kept = arr[keep]
         self._pending_pruned += int(arr.size - kept.size)
+        self._last_block = int(arr[-1])
+        if kept.size:
+            self.simulator.run_blocks(kept)
+
+    def run_block_runs(self, values: BlockChunk, counts: BlockChunk) -> None:
+        # A run-length-collapsed chunk is exactly what CRCB pruning computes:
+        # each run's head is the one access the simulator sees, the rest of
+        # the run is pruned (and folded back in as universal hits at
+        # finalize).  Consuming runs natively therefore skips re-deriving
+        # the keep mask — only the chunk-boundary carry needs handling, plus
+        # the defensive same-value-adjacent-runs case for non-canonical
+        # inputs.
+        arr = np.asarray(values, dtype=np.int64)
+        counts_arr = np.asarray(counts, dtype=np.int64)
+        if counts_arr.size != arr.size:
+            raise SimulationError(
+                f"run-length chunk mismatch: {arr.size} values vs "
+                f"{counts_arr.size} counts"
+            )
+        if arr.size == 0:
+            return
+        if counts_arr.min() < 1:
+            raise SimulationError("run-length counts must be positive")
+        keep = np.ones(arr.size, dtype=bool)
+        keep[1:] = arr[1:] != arr[:-1]
+        if self._last_block is not None and int(arr[0]) == self._last_block:
+            keep[0] = False
+        kept = arr[keep]
+        self._pending_pruned += int(counts_arr.sum()) - int(kept.size)
         self._last_block = int(arr[-1])
         if kept.size:
             self.simulator.run_blocks(kept)

@@ -34,7 +34,18 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -445,6 +456,7 @@ def run_sweep(
     store: Optional[Union[str, "os.PathLike", ResultStore]] = None,
     force: bool = False,
     fused: bool = True,
+    on_result: Optional[Callable[[int, SweepJob, SimulationResults, bool], None]] = None,
 ) -> SweepOutcome:
     """Execute sweep jobs over ``trace``, optionally in parallel and incremental.
 
@@ -478,6 +490,14 @@ def run_sweep(
         support it) instead of one full trace pass per job.  Output rows and
         counters are byte-identical either way; ``fused=False`` keeps the
         historical per-job scheme (the benchmark baseline).
+    on_result:
+        Optional job-granular progress hook, called as
+        ``on_result(index, job, results, cached)`` in the orchestrating
+        process the moment each job's results become available — with
+        ``cached=True`` for store hits and ``cached=False`` for fresh
+        executions (after the result has been persisted, when a store is
+        in use).  The service daemon uses this to record per-cell
+        completion durably; hooks must not raise if the sweep is to finish.
     """
     job_list = list(jobs)
     if not job_list:
@@ -497,6 +517,8 @@ def run_sweep(
                 cached = result_store.get(key)
                 if cached is not None:
                     results[index] = cached
+                    if on_result is not None:
+                        on_result(index, job_list[index], cached, True)
             cached_jobs = sum(1 for r in results if r is not None)
     missing = [index for index, loaded in enumerate(results) if loaded is None]
 
@@ -504,6 +526,8 @@ def run_sweep(
         results[index] = fresh
         if result_store is not None and keys is not None:
             result_store.put(keys[index], fresh)
+        if on_result is not None:
+            on_result(index, job_list[index], fresh, False)
 
     if not missing:
         effective_workers = 1

@@ -64,3 +64,12 @@ class ExplorationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """The simulation service or its job queue was asked something invalid.
+
+    Raised for unknown or ambiguous job ids, results requested before a job
+    completes, cancellation of jobs past the point of no return, and
+    incompatible service directory schemas.
+    """

@@ -171,6 +171,60 @@ class JanapsatyaSimulator:
         for block in blocks:
             access_block(block)
 
+    def run_block_runs(
+        self,
+        values: Union[Sequence[int], np.ndarray],
+        counts: Union[Sequence[int], np.ndarray],
+    ) -> None:
+        """Simulate a run-length-collapsed chunk: ``counts[i]`` consecutive
+        accesses to block ``values[i]`` (see
+        :func:`repro.trace.trace.collapse_block_runs`).
+
+        Exactness mirrors DEW's bulk accounting: after any access to a block,
+        that block sits in the MRU position of *every* level's set, so an
+        immediately-repeated access hits at position 0 everywhere — a hit in
+        every (set size, associativity) configuration — and "move to MRU" is
+        a no-op.  Only each run's head needs the full walk; the remaining
+        ``count - 1`` duplicates are accounted in bulk:
+
+        * with the MRU early-stop enabled, each duplicate costs one node
+          evaluation, one tag comparison and one MRU stop (the walk ends at
+          the root);
+        * with the early-stop disabled, each duplicate walks all levels and
+          finds the tag first at every one: one evaluation and one
+          comparison per level, no recency movement, no MRU stop (the
+          raw walk's ``position == 0`` branch just continues).
+
+        Both cases leave miss counts, request counts and every work counter
+        identical to feeding the uncollapsed stream through
+        :meth:`run_blocks`; the hypothesis oracle pins this byte-for-byte.
+        """
+        counts_arr = np.asarray(counts, dtype=np.int64)
+        if counts_arr.size != len(values):
+            raise SimulationError(
+                f"run-length chunk mismatch: {len(values)} values vs "
+                f"{counts_arr.size} counts"
+            )
+        if counts_arr.size == 0:
+            return
+        if counts_arr.min() < 1:
+            raise SimulationError("run-length counts must be positive")
+        duplicates = int(counts_arr.sum()) - int(counts_arr.size)
+        self.run_blocks(values)
+        if duplicates == 0:
+            return
+        counters = self.counters
+        counters.requests += duplicates
+        self._requests += duplicates
+        if self.use_mru_stop:
+            counters.node_evaluations += duplicates
+            counters.tag_comparisons += duplicates
+            counters.mru_stops += duplicates
+        else:
+            num_levels = len(self.set_sizes)
+            counters.node_evaluations += duplicates * num_levels
+            counters.tag_comparisons += duplicates * num_levels
+
     def account_pruned_hits(self, pruned: int) -> None:
         """Fold CRCB-pruned accesses back in as universal hits (exactness)."""
         if pruned <= 0:

@@ -1,0 +1,52 @@
+"""Store-backed simulation service: durable queue, daemon and client.
+
+The service layer turns the one-shot sweep pipeline into a long-running,
+multi-client system while preserving the byte-identity guarantees the rest
+of the package is built on — a sweep served from the daemon returns exactly
+the payload of :func:`repro.engine.sweep.run_sweep` executed directly.
+
+``queue``
+    :class:`JobQueue`, a crash-safe on-disk job queue: atomic enqueue /
+    claim / complete state transitions (one ``os.replace`` per transition),
+    priorities, and idempotent submission keyed by the same canonical
+    content identity the result store uses.
+``api``
+    The JSON wire schema and :class:`ServiceClient` — submit / status /
+    result / cancel / stats over the polling-file transport (clients and
+    daemon share a service directory; no sockets, no dependencies).
+``daemon``
+    :class:`ServiceDaemon`, the scheduler draining the queue through the
+    fused sweep executor with a bounded worker pool, coalescing work that
+    is already stored or already in flight, and recording per-job
+    timings and per-cell progress durably.
+"""
+
+from repro.service.api import (
+    SERVICE_WIRE_VERSION,
+    ServiceClient,
+    SweepRequest,
+    error_response,
+    ok_response,
+)
+from repro.service.daemon import ServiceDaemon
+from repro.service.queue import (
+    JOB_STATES,
+    SERVICE_SCHEMA_VERSION,
+    JobQueue,
+    JobRecord,
+    open_service,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "SERVICE_SCHEMA_VERSION",
+    "SERVICE_WIRE_VERSION",
+    "JobQueue",
+    "JobRecord",
+    "ServiceClient",
+    "ServiceDaemon",
+    "SweepRequest",
+    "error_response",
+    "ok_response",
+    "open_service",
+]

@@ -1,0 +1,323 @@
+"""JSON wire schema and the polling-file :class:`ServiceClient`.
+
+The transport is *shared files*: clients and daemon operate on one service
+directory (the :class:`~repro.service.queue.JobQueue` layout), so a submit
+is an atomic enqueue, status is a record read, and waiting is polling — no
+sockets, no extra dependencies, and every operation works whether or not a
+daemon is currently alive (jobs queue up and are drained when one starts).
+
+Every client operation has a JSON request/response shape so the CLI's
+``--format json`` output is machine-consumable and stable:
+
+* ``submit``  -> ``{"ok": true, "type": "submit", "job_id": ..., "deduped": ...}``
+* ``status``  -> ``{"ok": true, "type": "status", "job": {...}}``
+* ``result``  -> the job's result payload verbatim (the exact bytes
+  ``repro-dew sweep --format json`` would print for the same grid)
+* ``cancel``  -> ``{"ok": true, "type": "cancel", "job": {...}}``
+* ``stats``   -> ``{"ok": true, "type": "stats", "queue": {...}, ...}``
+
+Errors become ``{"ok": false, "error": "..."}`` with a non-zero exit code
+at the CLI.
+
+The canonical job identity reuses the store's content addressing: a request
+is decomposed into the same :class:`~repro.engine.sweep.SweepJob` grid a
+direct sweep would run, and the job id is the SHA-256 of the trace
+fingerprint plus the sorted per-cell store-key digests.  Two requests that
+would simulate the same cells over the same trace therefore collapse onto
+one queue entry, no matter how their options were spelled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.results import ResultsFrame
+from repro.engine.sweep import SweepJob, build_grid_jobs
+from repro.errors import ServiceError
+from repro.service.queue import (
+    STATE_DONE,
+    STATE_FAILED,
+    TERMINAL_STATES,
+    JobRecord,
+    open_service,
+)
+from repro.trace.files import load_trace_file
+from repro.trace.trace import Trace
+
+#: Version of the request/response wire format.
+SERVICE_WIRE_VERSION = 1
+
+#: Default sizes swept when a request does not pin ``max_sets``.
+DEFAULT_MAX_SETS = 16384
+
+
+def doubling_set_sizes(max_sets: int) -> List[int]:
+    """The power-of-two set-size ladder ``1, 2, 4, ... <= max_sets``."""
+    sizes = []
+    size = 1
+    while size <= int(max_sets):
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def ok_response(kind: str, **body: Any) -> Dict[str, Any]:
+    """A successful wire response envelope."""
+    payload: Dict[str, Any] = {"ok": True, "type": kind, "wire": SERVICE_WIRE_VERSION}
+    payload.update(body)
+    return payload
+
+
+def error_response(error: Union[str, Exception]) -> Dict[str, Any]:
+    """A failed wire response envelope."""
+    return {"ok": False, "wire": SERVICE_WIRE_VERSION, "error": str(error)}
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One client sweep request (the ``request`` field of a job record).
+
+    The grid parameters mirror ``repro-dew sweep``'s; the request is
+    decomposed into engine jobs with the same :func:`build_grid_jobs`
+    call a direct sweep uses, which is what makes service results
+    byte-identical to direct ones.
+    """
+
+    trace_path: str
+    block_sizes: Tuple[int, ...] = (4, 16, 64)
+    associativities: Tuple[int, ...] = (1, 4, 8)
+    max_sets: int = DEFAULT_MAX_SETS
+    policies: Tuple[str, ...] = ("fifo",)
+    seed: int = 0
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-able request payload stored in the job record."""
+        return {
+            "wire": SERVICE_WIRE_VERSION,
+            "trace_path": self.trace_path,
+            "block_sizes": list(self.block_sizes),
+            "associativities": list(self.associativities),
+            "max_sets": self.max_sets,
+            "policies": list(self.policies),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "SweepRequest":
+        """Inverse of :meth:`to_wire`."""
+        if payload.get("wire") != SERVICE_WIRE_VERSION:
+            raise ServiceError(
+                f"request uses wire version {payload.get('wire')!r}; "
+                f"this build reads version {SERVICE_WIRE_VERSION}"
+            )
+        return cls(
+            trace_path=str(payload["trace_path"]),
+            block_sizes=tuple(int(b) for b in payload["block_sizes"]),
+            associativities=tuple(int(a) for a in payload["associativities"]),
+            max_sets=int(payload.get("max_sets", DEFAULT_MAX_SETS)),
+            policies=tuple(str(p) for p in payload["policies"]),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    def build_jobs(self) -> List[SweepJob]:
+        """The engine-job decomposition a direct sweep would execute."""
+        return build_grid_jobs(
+            block_sizes=self.block_sizes,
+            associativities=self.associativities,
+            set_sizes=doubling_set_sizes(self.max_sets),
+            policies=self.policies,
+            seed=self.seed,
+        )
+
+    def load_trace(self) -> Trace:
+        """Load the request's trace file."""
+        return load_trace_file(self.trace_path)
+
+    def cell_digests(self, trace_fingerprint: str) -> List[str]:
+        """Sorted store-key digests of every cell this request covers."""
+        return sorted(
+            job.store_key(trace_fingerprint).digest for job in self.build_jobs()
+        )
+
+    def canonical_job_id(
+        self,
+        trace_fingerprint: str,
+        cell_digests: Optional[List[str]] = None,
+    ) -> str:
+        """Content identity of this request: trace + cell store addresses.
+
+        Requests that cover the same cells over the same trace — however
+        their grids were spelled — share an id, which is what makes queue
+        submission idempotent and duplicate submissions free.  Callers that
+        already hold the digests (the submit path computes them once and
+        persists them in the job record) pass them in to skip recomputing.
+        """
+        payload = json.dumps(
+            {
+                "schema": SERVICE_WIRE_VERSION,
+                "trace": str(trace_fingerprint),
+                "cells": (
+                    sorted(cell_digests)
+                    if cell_digests is not None
+                    else self.cell_digests(trace_fingerprint)
+                ),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def record_to_wire(record: JobRecord) -> Dict[str, Any]:
+    """A job record as a wire-friendly dictionary."""
+    return record.to_dict()
+
+
+class ServiceClient:
+    """Client surface over one service directory (the polling transport).
+
+    All operations are plain file reads/writes against the shared
+    :class:`~repro.service.queue.JobQueue`, so they are valid with or
+    without a live daemon; :meth:`wait` polls until the job reaches a
+    terminal state.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike], create: bool = False) -> None:
+        self.queue = open_service(root, create=create)
+
+    # -- operations --------------------------------------------------------------
+
+    def submit(
+        self,
+        request: SweepRequest,
+        priority: int = 0,
+        trace: Optional[Trace] = None,
+    ) -> Dict[str, Any]:
+        """Enqueue a sweep request; idempotent per canonical identity.
+
+        The trace is loaded (or taken from ``trace=``) to fingerprint it —
+        identity is *content*-addressed, so renaming a trace file does not
+        defeat coalescing, and a changed file under the same name cannot
+        serve stale results.
+        """
+        trace = trace if trace is not None else request.load_trace()
+        fingerprint = trace.fingerprint()
+        # One grid decomposition serves everything: the id, the cell count
+        # and the persisted digest list the daemon's overlap check reads
+        # (so scheduling never has to re-derive store keys per tick).
+        digests = request.cell_digests(fingerprint)
+        job_id = request.canonical_job_id(fingerprint, cell_digests=digests)
+        wire = request.to_wire()
+        wire["trace_fingerprint"] = fingerprint
+        wire["cells"] = len(digests)
+        wire["cell_digests"] = digests
+        record, deduped = self.queue.submit(job_id, wire, priority=priority)
+        return ok_response(
+            "submit",
+            job_id=record.id,
+            state=record.state,
+            deduped=deduped,
+            priority=record.priority,
+        )
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's current record."""
+        record = self.queue.find(job_id)
+        return ok_response("status", job=record_to_wire(record))
+
+    def result_text(self, job_id: str) -> str:
+        """A completed job's result payload, verbatim.
+
+        This is byte-identical to what ``repro-dew sweep --format json``
+        prints for the same grid over the same trace.
+        """
+        return self.queue.result_text(job_id)
+
+    def result_frame(self, job_id: str) -> ResultsFrame:
+        """A completed job's results as a columnar frame.
+
+        This is the hand-off to the exploration layer: the frame feeds
+        ``explore pareto`` / ``explore tune`` exactly like a sweep JSON
+        payload or a store directory does.
+        """
+        payload = json.loads(self.result_text(job_id))
+        return ResultsFrame.from_rows(
+            payload["configurations"],
+            simulator_name=str(payload.get("simulator", "sweep")),
+            trace_name=str(payload.get("trace", "trace")),
+        )
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued (or failed) job."""
+        record = self.queue.cancel(job_id)
+        return ok_response("cancel", job=record_to_wire(record))
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All job records (optionally filtered by state) in claim order."""
+        return [record_to_wire(record) for record in self.queue.records(state)]
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue counts, dedup accounting and the daemon's last heartbeat."""
+        counts = self.queue.counts()
+        submissions = self.queue.submissions()
+        distinct = sum(counts.values())
+        heartbeat = None
+        heartbeat_path = self.queue.root / "daemon.json"
+        if heartbeat_path.is_file():
+            try:
+                heartbeat = json.loads(heartbeat_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                heartbeat = None
+        return ok_response(
+            "stats",
+            queue=counts,
+            submissions=submissions,
+            distinct_jobs=distinct,
+            coalesced_submissions=max(submissions - distinct, 0),
+            dedup_ratio=(
+                round(max(submissions - distinct, 0) / submissions, 6)
+                if submissions
+                else 0.0
+            ),
+            daemon=heartbeat,
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll_interval: float = 0.05,
+    ) -> JobRecord:
+        """Poll until the job reaches a terminal state (or ``failed``).
+
+        Returns the final record; raises :class:`~repro.errors.ServiceError`
+        when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            record = self.queue.find(job_id)
+            if record.state in TERMINAL_STATES or record.state == STATE_FAILED:
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:g}s waiting for job "
+                    f"{record.id[:12]} (state: {record.state})"
+                )
+            time.sleep(poll_interval)
+
+    def result_when_done(
+        self, job_id: str, timeout: float = 60.0, poll_interval: float = 0.05
+    ) -> str:
+        """Convenience: :meth:`wait` then :meth:`result_text`."""
+        record = self.wait(job_id, timeout=timeout, poll_interval=poll_interval)
+        if record.state != STATE_DONE:
+            raise ServiceError(
+                f"job {record.id[:12]} finished as {record.state}"
+                + (f": {record.error}" if record.error else "")
+            )
+        return self.result_text(record.id)

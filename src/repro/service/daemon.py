@@ -1,0 +1,341 @@
+"""The service daemon: a long-running scheduler over the durable job queue.
+
+One :class:`ServiceDaemon` drains a :class:`~repro.service.queue.JobQueue`
+through :func:`repro.engine.sweep.run_sweep`'s fused executor, backed by a
+persistent result store.  The combination gives the service its three core
+properties:
+
+**Coalescing.**  Duplicate submissions never reach the daemon at all (the
+queue keys jobs by canonical content identity).  Cells shared by *different*
+jobs cost zero extra simulation in two ways: cells already persisted are
+loaded from the store instead of executed, and cells currently being
+computed by another worker are *in flight* — a job overlapping in-flight
+work is deferred (left queued) until the overlap clears, at which point its
+overlapping cells are store hits.
+
+**Durability.**  Cell completion is persisted twice over: the store write
+happens the moment a cell's execution unit finishes inside ``run_sweep``
+(the fused executor persists per decode-group batch — often a single cell,
+at most the same-block-size cells that share one decode), and the job
+record's progress counters are atomically rewritten from the job-granular
+``on_result`` hook.  A daemon killed mid-job therefore loses at most the
+batch it was computing; after a restart, :meth:`JobQueue.recover` re-queues
+the job and the re-run pays only for unpersisted cells.
+
+**Byte-identity.**  The daemon runs exactly the engine jobs a direct sweep
+would run and stores the merged payload verbatim, so a served result equals
+``run_sweep`` executed directly — cold, warm, killed-and-resumed alike.
+
+The bounded worker pool (``workers``) executes that many *jobs*
+concurrently in threads; each job's sweep may additionally fan out over
+``sweep_workers`` processes.  With ``workers=1`` execution is inline in
+the scheduler loop, which is also what makes the kill-mid-job semantics
+deterministic to test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from threading import Lock
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.engine.sweep import SweepJob, run_sweep
+from repro.errors import ReproError, ServiceError
+from repro.service.api import SweepRequest
+from repro.service.queue import JobQueue, JobRecord, open_service
+from repro.store import ResultStore, StoreKey, open_store
+from repro.store.resultstore import _atomic_replace
+
+#: Heartbeat / stats file the daemon atomically rewrites each scheduler tick.
+HEARTBEAT_NAME = "daemon.json"
+
+
+class ServiceDaemon:
+    """Scheduler draining one service directory's queue through the store.
+
+    Parameters
+    ----------
+    root:
+        The service directory (created if missing).
+    store:
+        Result store backing execution — a :class:`ResultStore`, a path, or
+        ``None`` for the default ``<root>/store``.  Sharing this store
+        between the daemon and direct ``repro-dew sweep --store`` runs is
+        supported (and is what makes them warm each other).
+    workers:
+        Jobs executed concurrently.  ``1`` (the default) runs jobs inline
+        in the scheduler loop; more uses a bounded thread pool.
+    sweep_workers:
+        Process fan-out *within* each job's sweep (``run_sweep(workers=)``).
+    poll_interval:
+        Idle sleep between scheduler ticks, in seconds.
+    on_cell:
+        Optional observability hook called as ``on_cell(record, index,
+        job, cached)`` after every persisted cell — the test suite uses it
+        to deterministically kill the daemon mid-job.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        store: Optional[Union[str, os.PathLike, ResultStore]] = None,
+        workers: int = 1,
+        sweep_workers: int = 1,
+        poll_interval: float = 0.1,
+        on_cell: Optional[Callable[[JobRecord, int, SweepJob, bool], None]] = None,
+    ) -> None:
+        self.queue: JobQueue = open_service(root)
+        if store is None:
+            store = Path(self.queue.root) / "store"
+        self.store: ResultStore = (
+            store if isinstance(store, ResultStore) else open_store(store)
+        )
+        self.workers = max(int(workers), 1)
+        self.sweep_workers = max(int(sweep_workers), 1)
+        self.poll_interval = max(float(poll_interval), 0.0)
+        self.on_cell = on_cell
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.cells_executed = 0
+        self.cells_cached = 0
+        self._stopping = False
+        self._started_at = time.time()
+        self._lock = Lock()
+        self._inflight_jobs: Dict[str, List[StoreKey]] = {}  # job id -> cell keys
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask the scheduler loop to exit after the current tick."""
+        self._stopping = True
+
+    def run(self, drain: bool = False, max_jobs: Optional[int] = None) -> int:
+        """The scheduler loop; returns the number of jobs brought to an end.
+
+        ``drain=True`` exits once the queue is empty and nothing is in
+        flight (batch mode — the CI smoke and the tests use it);
+        ``max_jobs`` bounds how many jobs are finished before returning.
+        Startup always begins with :meth:`JobQueue.recover`, so jobs
+        stranded by a previous daemon's death are re-queued before any new
+        work is claimed.
+        """
+        self._stopping = False
+        recovered = self.queue.recover()
+        if recovered:
+            self._write_heartbeat(note=f"recovered {len(recovered)} job(s)")
+        finished_before = self.jobs_done + self.jobs_failed
+        if self.workers == 1:
+            self._run_inline(drain, max_jobs, finished_before)
+        else:
+            self._run_pooled(drain, max_jobs, finished_before)
+        self._write_heartbeat(note="stopped")
+        return (self.jobs_done + self.jobs_failed) - finished_before
+
+    def _finished_enough(self, finished_before: int, max_jobs: Optional[int]) -> bool:
+        if max_jobs is None:
+            return False
+        return (self.jobs_done + self.jobs_failed) - finished_before >= max_jobs
+
+    def _run_inline(
+        self, drain: bool, max_jobs: Optional[int], finished_before: int
+    ) -> None:
+        while not self._stopping and not self._finished_enough(finished_before, max_jobs):
+            record = self.queue.claim(accept=self._accept)
+            if record is None:
+                self._write_heartbeat()
+                if drain:
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            self._mark_job_inflight(record)
+            self._execute(record)
+            self._write_heartbeat()
+
+    def _run_pooled(
+        self, drain: bool, max_jobs: Optional[int], finished_before: int
+    ) -> None:
+        pending: List[Future] = []
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            while True:
+                pending = [future for future in pending if not future.done()]
+                if self._stopping or self._finished_enough(finished_before, max_jobs):
+                    break
+                claimed = None
+                if len(pending) < self.workers:
+                    claimed = self.queue.claim(accept=self._accept)
+                if claimed is not None:
+                    # Mark in flight from the scheduler thread, before the
+                    # worker starts, so the next claim's overlap check can
+                    # never race the marking.
+                    self._mark_job_inflight(claimed)
+                    pending.append(pool.submit(self._execute, claimed))
+                    continue
+                self._write_heartbeat()
+                if drain and not pending:
+                    break
+                time.sleep(self.poll_interval)
+            for future in pending:
+                future.result()
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _accept(self, record: JobRecord) -> bool:
+        """Defer jobs whose cells overlap work already in flight.
+
+        Once the overlapping job finishes, its cells are in the store and
+        the deferred job's next claim attempt loads them for free — that is
+        the cross-job half of request coalescing.  Only consulted when it
+        can matter (``workers > 1``; with one worker nothing else is ever
+        in flight).
+        """
+        if self.workers == 1:
+            return True
+        digests = self._request_digests(record)
+        if digests is None:
+            return True  # malformed requests fail properly inside _execute
+        inflight = self.store.in_flight_digests()
+        return not (digests & inflight)
+
+    @staticmethod
+    def _request_digests(record: JobRecord) -> Optional[set]:
+        """The record's cell store-key digests, without re-deriving them.
+
+        The submit path persists the digest list in the job record, so the
+        per-tick overlap check is a set intersection; records written
+        without one (or malformed ones) fall back to recomputing from the
+        request grid.
+        """
+        stored = record.request.get("cell_digests")
+        if isinstance(stored, list) and stored:
+            return {str(digest) for digest in stored}
+        try:
+            request = SweepRequest.from_wire(record.request)
+            fingerprint = str(record.request.get("trace_fingerprint", ""))
+            return set(request.cell_digests(fingerprint))
+        except (ReproError, KeyError, ValueError, TypeError):
+            return None
+
+    # -- execution ---------------------------------------------------------------
+
+    def _execute(self, record: JobRecord) -> None:
+        started = time.perf_counter()
+        try:
+            request = SweepRequest.from_wire(record.request)
+            trace = request.load_trace()
+            fingerprint = trace.fingerprint()
+            expected = str(record.request.get("trace_fingerprint", ""))
+            if expected and fingerprint != expected:
+                raise ServiceError(
+                    f"trace {request.trace_path} changed since submission "
+                    f"(fingerprint {fingerprint[:12]}... != {expected[:12]}...)"
+                )
+            jobs = request.build_jobs()
+            record.cells_total = len(jobs)
+            record.cells_done = 0
+            record.cells_cached = 0
+            self.queue.update_running(record)
+
+            def progress(index: int, job: SweepJob, results, cached: bool) -> None:
+                record.cells_done += 1
+                if cached:
+                    record.cells_cached += 1
+                self.queue.update_running(record)
+                if self.on_cell is not None:
+                    self.on_cell(record, index, job, cached)
+
+            outcome = run_sweep(
+                trace,
+                jobs,
+                workers=self.sweep_workers,
+                store=self.store,
+                fused=True,
+                on_result=progress,
+            )
+            payload = outcome.merged().to_json()
+            record.execute_seconds = time.perf_counter() - started
+            record.extra.update(
+                {
+                    "cached_jobs": outcome.cached_jobs,
+                    "executed_jobs": outcome.executed_jobs,
+                    "trace": trace.name,
+                }
+            )
+            self.queue.complete(record, payload)
+            with self._lock:
+                self.jobs_done += 1
+                self.cells_executed += outcome.executed_jobs
+                self.cells_cached += outcome.cached_jobs
+        except ReproError as exc:
+            record.execute_seconds = time.perf_counter() - started
+            self.queue.fail(record, str(exc))
+            with self._lock:
+                self.jobs_failed += 1
+        except Exception as exc:  # noqa: BLE001 - a job must never kill the daemon
+            record.execute_seconds = time.perf_counter() - started
+            self.queue.fail(record, f"{type(exc).__name__}: {exc}")
+            with self._lock:
+                self.jobs_failed += 1
+        finally:
+            self._clear_inflight(record.id)
+
+    def _mark_job_inflight(self, record: JobRecord) -> None:
+        """Register a claimed job's cell keys as in flight (scheduler thread).
+
+        Cells already persisted are not marked — they will be store hits,
+        not duplicate work — so the overlap check only defers jobs on
+        genuinely concurrent simulation.  A malformed request marks nothing
+        and is left for :meth:`_execute` to fail properly.
+        """
+        try:
+            request = SweepRequest.from_wire(record.request)
+            fingerprint = str(record.request.get("trace_fingerprint", ""))
+            keys = [job.store_key(fingerprint) for job in request.build_jobs()]
+        except (ReproError, KeyError, ValueError, TypeError):
+            return
+        with self._lock:
+            self._inflight_jobs[record.id] = keys
+        for key in keys:
+            if not self.store.contains(key):
+                self.store.mark_in_flight(key)
+
+    def _clear_inflight(self, job_id: str) -> None:
+        with self._lock:
+            keys = self._inflight_jobs.pop(job_id, [])
+        for key in keys:
+            self.store.clear_in_flight(key)
+
+    # -- observability -----------------------------------------------------------
+
+    def heartbeat(self) -> Dict[str, Any]:
+        """The daemon's current counters (what ``stats`` reports)."""
+        with self._lock:
+            inflight = sorted(self._inflight_jobs)
+        return {
+            "schema": 1,
+            "pid": os.getpid(),
+            "started_at": self._started_at,
+            "updated_at": time.time(),
+            "workers": self.workers,
+            "sweep_workers": self.sweep_workers,
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "cells_executed": self.cells_executed,
+            "cells_cached": self.cells_cached,
+            "inflight_jobs": [job_id[:12] for job_id in inflight],
+            "store": self.store.stats(),
+        }
+
+    def _write_heartbeat(self, note: Optional[str] = None) -> None:
+        payload = self.heartbeat()
+        if note:
+            payload["note"] = note
+        _atomic_replace(
+            self.queue.root / HEARTBEAT_NAME,
+            lambda handle: json.dump(payload, handle, sort_keys=True),
+            mode="w",
+            prefix=".tmp-heartbeat-",
+        )

@@ -1,0 +1,520 @@
+"""A durable, crash-safe on-disk job queue for the simulation service.
+
+Every job is one JSON file whose *directory* encodes its state::
+
+    <root>/service.json           {"schema": 1}
+    <root>/jobs/queued/<id>.json
+    <root>/jobs/running/<id>.json
+    <root>/jobs/done/<id>.json
+    <root>/jobs/failed/<id>.json
+    <root>/jobs/cancelled/<id>.json
+    <root>/results/<id>.json      result payload of completed jobs
+    <root>/events/<nonce>.submit  one empty file per submit call
+    <root>/daemon.json            daemon heartbeat + counters
+
+Durability rules mirror the result store's:
+
+* **State transitions are single renames.**  Claiming a job is one
+  ``os.replace(queued/x, running/x)`` — atomic on POSIX, and it *fails* for
+  every claimant but one, so concurrent claimants can never double-claim.
+  Completing, failing and cancelling are the same primitive.  (Run one
+  daemon per service directory regardless: a second daemon's *startup
+  recovery* cannot tell a crashed predecessor's stranded jobs from a live
+  daemon's in-progress ones — see :meth:`JobQueue.recover`.)
+* **Record rewrites are atomic.**  Progress updates go through the shared
+  temp-file-plus-rename writer, so a kill mid-update leaves the previous
+  consistent record, never a truncated one.
+* **A crash is recoverable by construction.**  A daemon killed mid-job
+  leaves the record under ``running/``; :meth:`JobQueue.recover` moves it
+  back to ``queued`` on the next startup, and because execution is
+  store-backed the re-run pays only for cells that were not yet persisted.
+* **Results are written before the state flips to done**, so observing
+  ``done`` guarantees the result payload exists.
+
+Submission is *idempotent*: the job id is the canonical content identity of
+the request (see :meth:`repro.service.api.SweepRequest.canonical_job_id` —
+derived from the same trace fingerprint and store-key digests the result
+store addresses artifacts by), so duplicate submissions — concurrent ones
+included — collapse onto one queue entry.  Each submit call additionally
+drops a uniquely-named event file, which is how the dedup ratio survives
+restarts without any shared mutable counter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ServiceError
+from repro.store.resultstore import _atomic_replace
+
+#: Version of the service directory layout and job record schema.
+SERVICE_SCHEMA_VERSION = 1
+
+#: Job lifecycle states; each is a sub-directory of ``jobs/``.
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+STATE_CANCELLED = "cancelled"
+JOB_STATES: Tuple[str, ...] = (
+    STATE_QUEUED,
+    STATE_RUNNING,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_CANCELLED,
+)
+
+#: States a job can never leave (their results/errors are final).
+TERMINAL_STATES: Tuple[str, ...] = (STATE_DONE, STATE_CANCELLED)
+
+_SERVICE_MANIFEST = "service.json"
+_JOBS_DIR = "jobs"
+_RESULTS_DIR = "results"
+_EVENTS_DIR = "events"
+_RECORD_SUFFIX = ".json"
+
+
+@dataclass
+class JobRecord:
+    """One sweep job's durable bookkeeping (the JSON file's contents)."""
+
+    id: str
+    request: Dict[str, Any]
+    state: str = STATE_QUEUED
+    priority: int = 0
+    sequence: int = 0
+    attempts: int = 0
+    cells_total: int = 0
+    cells_done: int = 0
+    cells_cached: int = 0
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    execute_seconds: float = 0.0
+    error: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able view (the exact on-disk representation)."""
+        return {
+            "schema": SERVICE_SCHEMA_VERSION,
+            "id": self.id,
+            "request": self.request,
+            "state": self.state,
+            "priority": self.priority,
+            "sequence": self.sequence,
+            "attempts": self.attempts,
+            "cells_total": self.cells_total,
+            "cells_done": self.cells_done,
+            "cells_cached": self.cells_cached,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "execute_seconds": self.execute_seconds,
+            "error": self.error,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobRecord":
+        """Inverse of :meth:`to_dict` (unknown keys are ignored)."""
+        if payload.get("schema") != SERVICE_SCHEMA_VERSION:
+            raise ServiceError(
+                f"job record uses schema {payload.get('schema')!r}; "
+                f"this build reads version {SERVICE_SCHEMA_VERSION}"
+            )
+        return cls(
+            id=str(payload["id"]),
+            request=dict(payload.get("request", {})),
+            state=str(payload.get("state", STATE_QUEUED)),
+            priority=int(payload.get("priority", 0)),
+            sequence=int(payload.get("sequence", 0)),
+            attempts=int(payload.get("attempts", 0)),
+            cells_total=int(payload.get("cells_total", 0)),
+            cells_done=int(payload.get("cells_done", 0)),
+            cells_cached=int(payload.get("cells_cached", 0)),
+            submitted_at=float(payload.get("submitted_at", 0.0)),
+            started_at=payload.get("started_at"),
+            finished_at=payload.get("finished_at"),
+            execute_seconds=float(payload.get("execute_seconds", 0.0)),
+            error=payload.get("error"),
+            extra=dict(payload.get("extra", {})),
+        )
+
+
+def _claim_order_key(record: JobRecord) -> Tuple[int, int, str]:
+    """Higher priority first, then submission order, then id (deterministic)."""
+    return (-record.priority, record.sequence, record.id)
+
+
+class JobQueue:
+    """The durable queue rooted at one service directory.
+
+    Construct via :func:`open_service`.  All mutating operations are atomic
+    renames or atomic rewrites; see the module docstring for the crash
+    semantics each one guarantees.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+
+    # -- paths -------------------------------------------------------------------
+
+    def _state_dir(self, state: str) -> Path:
+        if state not in JOB_STATES:
+            raise ServiceError(f"unknown job state {state!r}")
+        return self.root / _JOBS_DIR / state
+
+    def _record_path(self, state: str, job_id: str) -> Path:
+        return self._state_dir(state) / (job_id + _RECORD_SUFFIX)
+
+    def result_path(self, job_id: str) -> Path:
+        """Where a completed job's result payload lives."""
+        return self.root / _RESULTS_DIR / (job_id + _RECORD_SUFFIX)
+
+    # -- record I/O --------------------------------------------------------------
+
+    def _write_record(self, state: str, record: JobRecord) -> None:
+        record.state = state
+        path = self._record_path(state, record.id)
+        _atomic_replace(
+            path,
+            lambda handle: json.dump(record.to_dict(), handle, sort_keys=True),
+            mode="w",
+            prefix=".tmp-job-",
+        )
+
+    def _read_record(self, path: Path) -> Optional[JobRecord]:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        try:
+            return JobRecord.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(
+        self,
+        job_id: str,
+        request: Dict[str, Any],
+        priority: int = 0,
+    ) -> Tuple[JobRecord, bool]:
+        """Enqueue (or coalesce onto) the job identified by ``job_id``.
+
+        Returns ``(record, deduped)``: ``deduped`` is True when an
+        equivalent job already existed in a live state (queued, running or
+        done) and no new work was enqueued.  A job found ``failed`` or
+        ``cancelled`` is re-queued — resubmission is the retry mechanism.
+        Every call drops one submission event for dedup accounting.
+        """
+        self._record_event()
+        existing = self._locate(job_id)
+        if existing is not None:
+            state, record = existing
+            if state in (STATE_QUEUED, STATE_RUNNING, STATE_DONE):
+                return record, True
+            # failed/cancelled -> retry: move back onto the queue.
+            record.error = None
+            record.started_at = None
+            record.finished_at = None
+            record.cells_done = 0
+            record.cells_cached = 0
+            record.priority = max(record.priority, int(priority))
+            self._write_record(STATE_QUEUED, record)
+            self._transition(state, STATE_QUEUED, job_id, rewritten=True)
+            return record, False
+        record = JobRecord(
+            id=job_id,
+            request=dict(request),
+            priority=int(priority),
+            sequence=time.time_ns(),
+            submitted_at=time.time(),
+        )
+        self._write_record(STATE_QUEUED, record)
+        return record, False
+
+    def _record_event(self) -> None:
+        events = self.root / _EVENTS_DIR
+        # pid + monotonic nonce make the name unique across processes.
+        nonce = f"{os.getpid()}-{time.time_ns()}"
+        path = events / (nonce + ".submit")
+        try:
+            with open(path, "x", encoding="ascii") as handle:
+                handle.write("")
+        except FileExistsError:  # pragma: no cover - same-ns double submit
+            pass
+        except OSError as exc:
+            raise ServiceError(f"could not record submission event: {exc}") from exc
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _locate(self, job_id: str) -> Optional[Tuple[str, JobRecord]]:
+        for state in JOB_STATES:
+            path = self._record_path(state, job_id)
+            if path.is_file():
+                record = self._read_record(path)
+                if record is not None:
+                    return state, record
+        return None
+
+    def find(self, job_id_or_prefix: str) -> JobRecord:
+        """The record whose id is (or starts with) the given string.
+
+        Prefixes are accepted for the same copy-paste ergonomics as
+        ``store ls`` fingerprints; an unknown or ambiguous prefix raises
+        :class:`~repro.errors.ServiceError`.
+        """
+        token = str(job_id_or_prefix).strip()
+        if not token:
+            raise ServiceError("empty job id")
+        exact = self._locate(token)
+        if exact is not None:
+            return exact[1]
+        matches = [
+            record for record in self.records() if record.id.startswith(token)
+        ]
+        if not matches:
+            raise ServiceError(f"no job matches {token!r}")
+        if len(matches) > 1:
+            listing = ", ".join(sorted(record.id[:12] for record in matches))
+            raise ServiceError(f"job id prefix {token!r} is ambiguous: {listing}")
+        return matches[0]
+
+    def records(self, state: Optional[str] = None) -> List[JobRecord]:
+        """All job records (optionally of one state), in claim order."""
+        states = (state,) if state is not None else JOB_STATES
+        records: List[JobRecord] = []
+        for name in states:
+            directory = self._state_dir(name)
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*" + _RECORD_SUFFIX)):
+                record = self._read_record(path)
+                if record is not None:
+                    records.append(record)
+        records.sort(key=_claim_order_key)
+        return records
+
+    def counts(self) -> Dict[str, int]:
+        """Number of jobs per state."""
+        result = {}
+        for state in JOB_STATES:
+            directory = self._state_dir(state)
+            result[state] = (
+                sum(1 for _ in directory.glob("*" + _RECORD_SUFFIX))
+                if directory.is_dir()
+                else 0
+            )
+        return result
+
+    def submissions(self) -> int:
+        """Total submit calls observed (survives restarts; drives dedup ratio)."""
+        events = self.root / _EVENTS_DIR
+        if not events.is_dir():
+            return 0
+        return sum(1 for _ in events.glob("*.submit"))
+
+    # -- transitions -------------------------------------------------------------
+
+    def _transition(
+        self, source: str, target: str, job_id: str, rewritten: bool = False
+    ) -> None:
+        """Atomically move a job file between state directories.
+
+        With ``rewritten=True`` the target file has already been written and
+        the rename just removes the stale source copy — a source that is
+        already gone (a concurrent actor performed the same transition, e.g.
+        two clients resubmitting the same failed job) is therefore not an
+        error: the desired end state holds either way.
+        """
+        source_path = self._record_path(source, job_id)
+        target_path = self._record_path(target, job_id)
+        try:
+            if rewritten:
+                source_path.unlink()
+            else:
+                os.replace(source_path, target_path)
+        except FileNotFoundError:
+            if rewritten:
+                return
+            raise ServiceError(
+                f"job {job_id[:12]} left state {source!r} concurrently"
+            ) from None
+
+    def claim(
+        self, accept: Optional[Callable[[JobRecord], bool]] = None
+    ) -> Optional[JobRecord]:
+        """Atomically claim the best queued job, or ``None`` when idle.
+
+        Queued jobs are considered in (priority desc, submission order)
+        sequence; ``accept`` lets the caller skip jobs it cannot run yet
+        (the daemon uses it to defer jobs whose cells overlap work already
+        in flight).  The claim itself is one ``os.replace`` — if another
+        claimant wins the race, the next candidate is tried.
+        """
+        for record in self.records(STATE_QUEUED):
+            if accept is not None and not accept(record):
+                continue
+            source = self._record_path(STATE_QUEUED, record.id)
+            target = self._record_path(STATE_RUNNING, record.id)
+            try:
+                os.replace(source, target)
+            except FileNotFoundError:
+                continue  # lost the race; try the next candidate
+            record.attempts += 1
+            record.started_at = time.time()
+            record.error = None
+            self._write_record(STATE_RUNNING, record)
+            return record
+        return None
+
+    def update_running(self, record: JobRecord) -> None:
+        """Atomically rewrite a running job's record (progress updates)."""
+        if record.state != STATE_RUNNING:
+            raise ServiceError(
+                f"can only update running jobs, {record.id[:12]} is {record.state!r}"
+            )
+        self._write_record(STATE_RUNNING, record)
+
+    def complete(self, record: JobRecord, result_text: str) -> None:
+        """Persist the result payload, then flip the job to ``done``.
+
+        The payload write happens first (atomically), so a record observed
+        in ``done`` always has a readable result.
+        """
+        payload_path = self.result_path(record.id)
+        _atomic_replace(
+            payload_path,
+            lambda handle: handle.write(result_text),
+            mode="w",
+            prefix=".tmp-result-",
+        )
+        record.finished_at = time.time()
+        self._write_record(STATE_DONE, record)
+        self._transition(STATE_RUNNING, STATE_DONE, record.id, rewritten=True)
+
+    def fail(self, record: JobRecord, error: str) -> None:
+        """Flip a running job to ``failed`` with the error message."""
+        record.error = str(error)
+        record.finished_at = time.time()
+        self._write_record(STATE_FAILED, record)
+        self._transition(STATE_RUNNING, STATE_FAILED, record.id, rewritten=True)
+
+    def cancel(self, job_id_or_prefix: str) -> JobRecord:
+        """Cancel a queued job (atomic queued -> cancelled rename).
+
+        Running jobs cannot be cancelled (the daemon owns them); done and
+        cancelled jobs are already final.  Failed jobs can be cancelled to
+        stop a resubmission from retrying them.
+        """
+        record = self.find(job_id_or_prefix)
+        if record.state in (STATE_QUEUED, STATE_FAILED):
+            source_state = record.state
+            record.finished_at = time.time()
+            self._write_record(STATE_CANCELLED, record)
+            self._transition(source_state, STATE_CANCELLED, record.id, rewritten=True)
+            return record
+        if record.state == STATE_RUNNING:
+            raise ServiceError(
+                f"job {record.id[:12]} is running and cannot be cancelled"
+            )
+        raise ServiceError(f"job {record.id[:12]} is already {record.state}")
+
+    def recover(self) -> List[JobRecord]:
+        """Re-queue every job stranded in ``running`` by a dead daemon.
+
+        Called by the daemon on startup.  Progress counters are reset (the
+        store, not the record, is the source of truth for completed cells —
+        the re-run loads persisted cells instead of re-simulating them).
+
+        This assumes the previous daemon is dead: recovery cannot
+        distinguish a stranded job from one a *live* daemon is still
+        executing, so starting a second daemon on the same service
+        directory re-queues (and re-runs) the first one's in-progress work.
+        The store keeps that safe — results stay byte-identical and
+        persisted cells are not re-simulated — but it is duplicate effort;
+        run one daemon per service directory.
+        """
+        recovered = []
+        for record in self.records(STATE_RUNNING):
+            record.cells_done = 0
+            record.cells_cached = 0
+            self._write_record(STATE_QUEUED, record)
+            self._transition(STATE_RUNNING, STATE_QUEUED, record.id, rewritten=True)
+            recovered.append(record)
+        return recovered
+
+    def result_text(self, job_id_or_prefix: str) -> str:
+        """The stored result payload of a completed job."""
+        record = self.find(job_id_or_prefix)
+        if record.state != STATE_DONE:
+            raise ServiceError(
+                f"job {record.id[:12]} is {record.state}, not done"
+                + (f" ({record.error})" if record.error else "")
+            )
+        try:
+            return self.result_path(record.id).read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - done implies payload
+            raise ServiceError(
+                f"result payload for job {record.id[:12]} is unreadable: {exc}"
+            ) from exc
+
+
+def open_service(path: Union[str, os.PathLike], create: bool = True) -> JobQueue:
+    """Open (by default creating) the service directory rooted at ``path``.
+
+    The root gains a ``service.json`` manifest recording the schema
+    version; re-opening a directory written by an incompatible build raises
+    :class:`~repro.errors.ServiceError`.  With ``create=False`` a missing
+    service directory is an error — the client commands use this so a typo
+    cannot silently spawn an empty service.
+    """
+    root = Path(path)
+    manifest_path = root / _SERVICE_MANIFEST
+    if not manifest_path.is_file():
+        if not create:
+            raise ServiceError(
+                f"no service at {root} (start one with 'repro-dew serve {root}')"
+            )
+        try:
+            for name in JOB_STATES:
+                (root / _JOBS_DIR / name).mkdir(parents=True, exist_ok=True)
+            (root / _RESULTS_DIR).mkdir(parents=True, exist_ok=True)
+            (root / _EVENTS_DIR).mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ServiceError(f"could not create service at {root}: {exc}") from exc
+        _atomic_replace(
+            manifest_path,
+            lambda handle: json.dump(
+                {"schema": SERVICE_SCHEMA_VERSION, "format": "polling-files"},
+                handle,
+                sort_keys=True,
+            ),
+            mode="w",
+            prefix=".tmp-service-",
+        )
+    else:
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="ascii"))
+        except (OSError, ValueError) as exc:
+            raise ServiceError(
+                f"unreadable service manifest {manifest_path}: {exc}"
+            ) from exc
+        if manifest.get("schema") != SERVICE_SCHEMA_VERSION:
+            raise ServiceError(
+                f"service at {root} uses schema {manifest.get('schema')!r}; "
+                f"this build reads version {SERVICE_SCHEMA_VERSION}"
+            )
+        for name in JOB_STATES:
+            (root / _JOBS_DIR / name).mkdir(parents=True, exist_ok=True)
+        (root / _RESULTS_DIR).mkdir(parents=True, exist_ok=True)
+        (root / _EVENTS_DIR).mkdir(parents=True, exist_ok=True)
+    return JobQueue(root)

@@ -397,10 +397,16 @@ def load_store_frame(
     )
 
 
+#: Chunk length for streaming hash/copy operations (1 MiB): large enough to
+#: amortise syscall overhead, small enough that importing a multi-gigabyte
+#: bundle never stages a whole artifact in memory.
+STREAM_CHUNK_BYTES = 1 << 20
+
+
 def _sha256_file(path: Path) -> str:
     digest = hashlib.sha256()
     with open(path, "rb") as handle:
-        for block in iter(lambda: handle.read(1 << 20), b""):
+        for block in iter(lambda: handle.read(STREAM_CHUNK_BYTES), b""):
             digest.update(block)
     return digest.hexdigest()
 
@@ -408,6 +414,37 @@ def _sha256_file(path: Path) -> str:
 def _atomic_write_bytes(target: Path, data: bytes) -> None:
     target.parent.mkdir(parents=True, exist_ok=True)
     _atomic_replace(target, lambda handle: handle.write(data), prefix=".tmp-import-")
+
+
+def _atomic_copy_validated(source: Path, target: Path, expected_sha256: str) -> int:
+    """Stream ``source`` into ``target`` chunk-by-chunk, re-hashing in transit.
+
+    The copy goes through the shared temp-file-plus-``os.replace`` primitive,
+    so a crash mid-copy never leaves a partial artifact under its final name,
+    and a hash mismatch (the source changed after validation) aborts before
+    the rename — the temp file is discarded and :class:`StoreError` raised.
+    Peak memory is one :data:`STREAM_CHUNK_BYTES` buffer regardless of
+    artifact size.  Returns the number of bytes copied.
+    """
+    target.parent.mkdir(parents=True, exist_ok=True)
+    copied = 0
+
+    def copy_stream(handle) -> None:
+        nonlocal copied
+        digest = hashlib.sha256()
+        with open(source, "rb") as stream:
+            for block in iter(lambda: stream.read(STREAM_CHUNK_BYTES), b""):
+                digest.update(block)
+                handle.write(block)
+                copied += len(block)
+        if digest.hexdigest() != expected_sha256:
+            raise StoreError(
+                f"manifest artifact {source} changed during import "
+                f"(expected sha256 {expected_sha256}, got {digest.hexdigest()})"
+            )
+
+    _atomic_replace(target, copy_stream, prefix=".tmp-import-")
+    return copied
 
 
 def export_store(store: ResultStore, manifest_path: os.PathLike) -> Dict[str, Any]:
@@ -451,20 +488,34 @@ class ImportReport:
 
     imported: int
     skipped: int
+    copied_bytes: int = 0
 
     def summary(self) -> str:
         """One-line human-readable verdict."""
-        return f"imported {self.imported} artifact(s), {self.skipped} already present"
+        return (
+            f"imported {self.imported} artifact(s) "
+            f"({self.copied_bytes:,} bytes), {self.skipped} already present"
+        )
 
 
 def import_store(store: ResultStore, manifest_path: os.PathLike) -> ImportReport:
     """Install the artifacts listed in an export manifest into ``store``.
 
-    Every file is re-read and re-hashed before installation; a missing file
-    or a SHA-256 mismatch (a bad transfer) raises
-    :class:`~repro.errors.StoreError` without touching the store.  Artifacts
-    already present (same content address) are skipped, so imports are
-    idempotent and two stores can exchange manifests in either direction.
+    Two streaming passes, neither of which ever holds a whole artifact in
+    memory (peak usage is one :data:`STREAM_CHUNK_BYTES` buffer however
+    large the bundle's files are):
+
+    1. every listed file is re-read and re-hashed chunk-by-chunk — a missing
+       file or a SHA-256 mismatch (a bad transfer) raises
+       :class:`~repro.errors.StoreError` before anything is written, so a
+       bad bundle cannot leave a half-imported store;
+    2. validated files are streamed into place through the atomic
+       temp-plus-rename primitive, re-hashing in transit — a source that
+       changes between the passes aborts that copy before the rename.
+
+    Artifacts already present (same content address) are skipped, so imports
+    are idempotent and two stores can exchange manifests in either
+    direction.
     """
     manifest_path = Path(manifest_path)
     try:
@@ -482,7 +533,7 @@ def import_store(store: ResultStore, manifest_path: os.PathLike) -> ImportReport
             f"{payload.get('store_schema')!r}; this build reads version {STORE_SCHEMA_VERSION}"
         )
     base = manifest_path.parent
-    staged: List[Tuple[Path, bytes]] = []
+    staged: List[Tuple[Path, Path, str]] = []  # (source, target, sha256)
     skipped = 0
     for entry in payload.get("artifacts", []):
         digest = str(entry.get("digest", ""))
@@ -494,18 +545,16 @@ def import_store(store: ResultStore, manifest_path: os.PathLike) -> ImportReport
             continue
         source = base / str(entry.get("path", ""))
         try:
-            data = source.read_bytes()
+            actual = _sha256_file(source)
         except OSError as exc:
             raise StoreError(f"manifest artifact {source} is unreadable: {exc}") from exc
-        actual = hashlib.sha256(data).hexdigest()
         if actual != entry.get("sha256"):
             raise StoreError(
                 f"manifest artifact {source} fails its hash check "
                 f"(expected {entry.get('sha256')}, got {actual})"
             )
-        staged.append((target, data))
-    # All sources validated before the first write, so a bad bundle cannot
-    # leave a half-imported store.
-    for target, data in staged:
-        _atomic_write_bytes(target, data)
-    return ImportReport(imported=len(staged), skipped=skipped)
+        staged.append((source, target, actual))
+    copied_bytes = 0
+    for source, target, sha256 in staged:
+        copied_bytes += _atomic_copy_validated(source, target, sha256)
+    return ImportReport(imported=len(staged), skipped=skipped, copied_bytes=copied_bytes)

@@ -34,6 +34,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
@@ -62,6 +63,13 @@ def _atomic_replace(target: Path, writer, mode: str = "wb", prefix: str = ".tmp-
     target path on any OS-level problem.
     """
     fd, temp_name = tempfile.mkstemp(prefix=prefix, dir=target.parent)
+
+    def discard_temp() -> None:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+
     try:
         with os.fdopen(fd, mode) as handle:
             writer(handle)
@@ -69,11 +77,13 @@ def _atomic_replace(target: Path, writer, mode: str = "wb", prefix: str = ".tmp-
             os.fsync(handle.fileno())
         os.replace(temp_name, target)
     except OSError as exc:
-        try:
-            os.unlink(temp_name)
-        except OSError:
-            pass
+        discard_temp()
         raise StoreError(f"could not write {target}: {exc}") from exc
+    except BaseException:
+        # A writer that raises its own error (e.g. a streaming copy whose
+        # hash check fails) must not leave the temp file behind either.
+        discard_temp()
+        raise
 
 
 def _json_canonical_default(value: Any) -> Any:
@@ -174,6 +184,51 @@ class ResultStore:
         self.miss_count = 0
         self.corrupt_count = 0
         self.put_count = 0
+        # In-flight marks are read by a scheduler thread while worker
+        # threads add/discard them (daemon with workers > 1), so every
+        # access goes through the lock.
+        self._in_flight: set = set()
+        self._in_flight_lock = threading.Lock()
+
+    # -- accounting --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Lookup/write accounting accumulated by this instance.
+
+        The counts are shared by every consumer of the same instance — the
+        sweep orchestrator, the service daemon and the stats endpoint all
+        see one set of numbers, so a served sweep's hit/miss split reflects
+        everything that happened to the store, not one caller's view.
+        """
+        with self._in_flight_lock:
+            in_flight = len(self._in_flight)
+        return {
+            "hits": self.hit_count,
+            "misses": self.miss_count,
+            "corrupt": self.corrupt_count,
+            "puts": self.put_count,
+            "in_flight": in_flight,
+        }
+
+    def mark_in_flight(self, key: StoreKey) -> None:
+        """Record that ``key`` is currently being simulated (not yet stored)."""
+        with self._in_flight_lock:
+            self._in_flight.add(key.digest)
+
+    def clear_in_flight(self, key: StoreKey) -> None:
+        """Drop the in-flight mark for ``key`` (no-op when absent)."""
+        with self._in_flight_lock:
+            self._in_flight.discard(key.digest)
+
+    def is_in_flight(self, key: StoreKey) -> bool:
+        """Whether ``key`` is marked as currently being simulated."""
+        with self._in_flight_lock:
+            return key.digest in self._in_flight
+
+    def in_flight_digests(self) -> frozenset:
+        """Snapshot of the digests currently marked in flight."""
+        with self._in_flight_lock:
+            return frozenset(self._in_flight)
 
     # -- addressing -------------------------------------------------------------
 
@@ -243,6 +298,9 @@ class ResultStore:
             prefix=".tmp-" + key.digest[:8] + "-",
         )
         self.put_count += 1
+        # A persisted artifact is by definition no longer being computed.
+        with self._in_flight_lock:
+            self._in_flight.discard(key.digest)
         return path
 
     def delete(self, key: StoreKey) -> bool:

@@ -15,6 +15,9 @@ The sub-modules are:
     baseline consumes.
 ``textio``
     Plain hexadecimal / CSV trace files.
+``files``
+    Format- and compression-aware file loading (the CLI/service entry
+    point over ``din`` and ``textio``).
 ``stats``
     Working-set, reuse-distance and block-reuse statistics.
 ``filters``
@@ -24,6 +27,7 @@ The sub-modules are:
 from repro.trace.record import MemoryAccess
 from repro.trace.trace import Trace, TraceBuilder, collapse_block_runs
 from repro.trace.din import read_din, write_din
+from repro.trace.files import load_trace_file
 from repro.trace.textio import read_text_trace, write_text_trace
 from repro.trace.stats import TraceStatistics, compute_trace_statistics
 from repro.trace.filters import (
@@ -40,6 +44,7 @@ __all__ = [
     "collapse_block_runs",
     "read_din",
     "write_din",
+    "load_trace_file",
     "read_text_trace",
     "write_text_trace",
     "TraceStatistics",

@@ -1,0 +1,41 @@
+"""Format- and compression-aware trace file loading.
+
+One entry point, :func:`load_trace_file`, shared by every surface that
+accepts a trace *path* — the CLI commands and the service daemon — so all of
+them agree on format detection (``.din`` vs hex/CSV text), transparent
+``.gz`` decompression, trace naming and error reporting.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from typing import Union
+
+from repro.errors import TraceError
+from repro.trace.din import read_din
+from repro.trace.textio import read_text_trace
+from repro.trace.trace import Trace
+
+
+def load_trace_file(path: Union[str, os.PathLike]) -> Trace:
+    """Load a ``.din``/CSV/hex trace, transparently decompressing ``.gz`` files.
+
+    The trace is named after the file's basename (extension stripped), so
+    reports and result rows carry a human-readable workload label.
+    Unreadable or missing files raise :class:`~repro.errors.TraceError` with
+    a one-line message instead of a traceback.
+    """
+    path = os.fspath(path)
+    compressed = path.endswith(".gz")
+    stem = path[:-3] if compressed else path
+    opener = gzip.open if compressed else open
+    try:
+        with opener(path, "rt", encoding="ascii") as handle:
+            trace = read_din(handle) if stem.endswith(".din") else read_text_trace(handle)
+    except FileNotFoundError:
+        raise TraceError(f"trace file not found: {path}") from None
+    except (OSError, UnicodeDecodeError) as exc:
+        raise TraceError(f"could not read trace file {path}: {exc}") from exc
+    name = os.path.splitext(os.path.basename(stem))[0]
+    return trace.with_name(name) if name else trace

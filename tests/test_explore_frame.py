@@ -281,3 +281,93 @@ class TestFrameNativeEnergyAndTuner:
         assert [point.config for point in front] == [
             frame.config_at(int(row)) for row in indices
         ]
+
+
+class TestDivideAndConquerKernel:
+    """The arity >= 3 divide-and-conquer kernel vs the pairwise/object oracles."""
+
+    @staticmethod
+    def _reference_mask(values: np.ndarray) -> np.ndarray:
+        points = [
+            ParetoPoint(CacheConfig(1, 1, 4), tuple(float(v) for v in row))
+            for row in values
+        ]
+        oracle = reference_pareto_front(points)
+        keep_ids = {id(point) for point in oracle}
+        return np.asarray([id(point) in keep_ids for point in points], dtype=bool)
+
+    def test_divide_matches_reference_with_forced_recursion(self):
+        from repro.explore.pareto import _pareto_mask_divide, _pareto_mask_pairwise
+
+        rng = np.random.default_rng(42)
+        for arity in (3, 4):
+            for rows in (1, 2, 7, 50, 300):
+                # Tiny value range forces heavy duplicate/tie structure.
+                values = rng.integers(0, 4, size=(rows, arity)).astype(np.float64)
+                expected = _pareto_mask_pairwise(values)
+                for threshold in (2, 3, 16):
+                    got = _pareto_mask_divide(values, threshold=threshold)
+                    assert got.tolist() == expected.tolist(), (
+                        f"arity={arity} rows={rows} threshold={threshold}"
+                    )
+
+    def test_divide_matches_object_oracle_small(self):
+        from repro.explore.pareto import _pareto_mask_divide
+
+        rng = np.random.default_rng(7)
+        for arity in (3, 4):
+            values = rng.integers(0, 3, size=(40, arity)).astype(np.float64)
+            assert (
+                _pareto_mask_divide(values, threshold=4).tolist()
+                == self._reference_mask(values).tolist()
+            )
+
+    def test_public_path_routes_large_arity3_through_divide(self):
+        """pareto_mask on > DIVIDE_THRESHOLD rows must equal the pairwise kernel."""
+        from repro.explore.pareto import (
+            DIVIDE_THRESHOLD,
+            _pareto_mask_pairwise,
+        )
+
+        rng = np.random.default_rng(11)
+        rows = DIVIDE_THRESHOLD * 3 + 17
+        for arity in (3, 4):
+            values = rng.integers(0, 6, size=(rows, arity)).astype(np.float64)
+            assert (
+                pareto_mask(values).tolist()
+                == _pareto_mask_pairwise(values).tolist()
+            )
+
+    def test_duplicate_rows_straddling_the_split_all_survive(self):
+        from repro.explore.pareto import _pareto_mask_divide
+
+        # Four identical non-dominated rows plus one dominated row; with
+        # threshold=2 the duplicates are guaranteed to land in different
+        # recursion halves.
+        values = np.asarray(
+            [[1.0, 1.0, 1.0]] * 4 + [[2.0, 2.0, 2.0]], dtype=np.float64
+        )
+        mask = _pareto_mask_divide(values, threshold=2)
+        assert mask.tolist() == [True, True, True, True, False]
+
+    @settings(max_examples=60, deadline=None)
+    @given(frame=result_frames())
+    def test_arity_three_frame_path_matches_reference_loop(self, frame):
+        """End-to-end: arity-3 fronts via the public API vs the object loop."""
+        metrics = ("total_size", "miss_rate", "misses")
+        points = [
+            ParetoPoint(
+                result.config,
+                (
+                    float(result.config.total_size),
+                    float(result.miss_rate),
+                    float(result.misses),
+                ),
+            )
+            for result in frame
+        ]
+        oracle = reference_pareto_front(points)
+        indices = pareto_front_frame(frame, metrics)
+        assert [frame.config_at(int(row)) for row in indices] == [
+            point.config for point in oracle
+        ]

@@ -427,3 +427,69 @@ class TestCliStoreManagement:
         # The default-named manifest is store bookkeeping, not foreign junk.
         assert main(["store", "verify", str(warm_store)]) == 0
         assert "0 foreign" in capsys.readouterr().out.splitlines()[-1]
+
+
+class TestStreamingImport:
+    """Imports stream chunk-by-chunk instead of staging whole files in memory."""
+
+    def _bundle(self, tmp_path, artifacts=6):
+        source = open_store(tmp_path / "bundle")
+        for index in range(artifacts):
+            source.put(
+                _key(block_size=2 ** (index + 2)),
+                _results(misses=index, config=CacheConfig(4, 2, 2 ** (index + 2))),
+            )
+        export_store(source, tmp_path / "bundle" / "MANIFEST.json")
+        return source
+
+    def test_multi_artifact_bundle_streams_in_small_chunks(self, tmp_path, monkeypatch):
+        """Force a tiny chunk size: many-chunk copies must still be exact."""
+        from repro.store import manage
+
+        source = self._bundle(tmp_path)
+        monkeypatch.setattr(manage, "STREAM_CHUNK_BYTES", 64)
+        target = open_store(tmp_path / "target")
+        report = import_store(target, tmp_path / "bundle" / "MANIFEST.json")
+        assert report.imported == len(source) == 6
+        assert report.copied_bytes == sum(
+            path.stat().st_size for path in source.artifact_paths()
+        )
+        for path in source.artifact_paths():
+            copied = target.root / path.relative_to(source.root)
+            assert copied.read_bytes() == path.read_bytes()
+        assert verify_store(target).clean
+
+    def test_copy_aborts_when_source_changes_between_passes(self, tmp_path, monkeypatch):
+        """A source mutated after validation fails in transit, atomically."""
+        from repro.store import manage
+
+        self._bundle(tmp_path, artifacts=2)
+        manifest = tmp_path / "bundle" / "MANIFEST.json"
+        payload = json.loads(manifest.read_text())
+        victim = (tmp_path / "bundle" / payload["artifacts"][0]["path"]).resolve()
+
+        real_sha = manage._sha256_file
+
+        def sha_then_mutate(path):
+            digest = real_sha(path)
+            if Path(path).resolve() == victim:
+                victim.write_bytes(b"mutated-after-validation")
+            return digest
+
+        monkeypatch.setattr(manage, "_sha256_file", sha_then_mutate)
+        target = open_store(tmp_path / "target")
+        with pytest.raises(StoreError, match="changed during import"):
+            import_store(target, manifest)
+        # The failed copy left no temp file and no mis-addressed artifact.
+        assert verify_store(target).clean
+        leftovers = [
+            p for p in (target.root / "objects").rglob("*") if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_import_report_summary_mentions_bytes(self, tmp_path):
+        self._bundle(tmp_path, artifacts=1)
+        target = open_store(tmp_path / "target")
+        report = import_store(target, tmp_path / "bundle" / "MANIFEST.json")
+        assert "bytes" in report.summary()
+        assert report.copied_bytes > 0
