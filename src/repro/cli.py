@@ -166,6 +166,22 @@ def _parse_int_list(text: str, what: str) -> List[int]:
     return values
 
 
+def _shm_mode(args: argparse.Namespace) -> Optional[bool]:
+    """Tri-state shared-memory choice from ``--shm``/``--no-shm``.
+
+    ``None`` (neither flag) lets :func:`~repro.engine.sweep.run_sweep` use
+    the shared plane automatically for pooled fused work with a fallback to
+    the copy path; ``--shm`` forces it (and routes even serial fused runs
+    through the plane); ``--no-shm`` is the escape hatch that disables
+    shared memory entirely.
+    """
+    if getattr(args, "shm", False):
+        return True
+    if getattr(args, "no_shm", False):
+        return False
+    return None
+
+
 def _print_result_rows(merged) -> None:
     """The per-configuration text lines shared by ``sweep`` and ``result``."""
     for result in merged:
@@ -194,6 +210,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store=store,
         force=args.force,
         fused=not args.no_fused,
+        shm=_shm_mode(args),
     )
     merged = outcome.merged()
     # Result lines are deterministic (byte-identical for any worker count and
@@ -440,6 +457,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=args.store,
         workers=args.workers,
         sweep_workers=args.sweep_workers,
+        shm=_shm_mode(args),
         poll_interval=args.poll,
     )
     print(
@@ -525,6 +543,11 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     response = ServiceClient(args.service_dir).cancel(args.job)
     if args.format == "json":
         print(json.dumps(response, indent=2))
+    elif response.get("requested"):
+        print(
+            f"cancellation requested for running job {response['job']['id'][:12]} "
+            f"(the daemon stops it between cells; finished cells stay stored)"
+        )
     else:
         print(f"cancelled job {response['job']['id'][:12]}")
     return 0
@@ -547,7 +570,11 @@ def _cmd_queue_ls(args: argparse.Namespace) -> int:
 
 
 def _cmd_queue_stats(args: argparse.Namespace) -> int:
-    response = ServiceClient(args.service_dir).stats()
+    client = ServiceClient(args.service_dir)
+    if args.prune_events:
+        pruned = client.prune_events(retain_seconds=args.retain_seconds)
+        print(f"pruned {pruned} submit event(s)", file=sys.stderr)
+    response = client.stats()
     if args.format == "json":
         print(json.dumps(response, indent=2))
         return 0
@@ -624,6 +651,17 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--associativity", type=int, default=4)
         sub.add_argument("--max-sets", type=int, default=16384)
 
+    def add_shm_arguments(sub: argparse.ArgumentParser) -> None:
+        group = sub.add_mutually_exclusive_group()
+        group.add_argument("--shm", action="store_true",
+                           help="force the shared-memory trace plane (decode "
+                                "once, workers map it zero-copy); fails if the "
+                                "platform has no shared memory")
+        group.add_argument("--no-shm", action="store_true",
+                           help="disable the shared-memory trace plane and ship "
+                                "each worker its own trace copy (results are "
+                                "identical)")
+
     dew = subparsers.add_parser("dew", help="run DEW over a trace")
     add_family_arguments(dew)
     dew.add_argument("--collapse", action="store_true",
@@ -660,6 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-fused", action="store_true",
                        help="disable the fused single-pass executor and run one "
                             "full trace pass per job (results are identical)")
+    add_shm_arguments(sweep)
     sweep.add_argument("--format", choices=("text", "json"), default="text",
                        help="output format (json rows use a stable sort order)")
     sweep.set_defaults(func=_cmd_sweep)
@@ -772,6 +811,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="jobs executed concurrently (bounded worker pool)")
     serve.add_argument("--sweep-workers", type=int, default=1,
                        help="process fan-out within each job's sweep")
+    add_shm_arguments(serve)
     serve.add_argument("--poll", type=float, default=0.1, metavar="SECONDS",
                        help="idle sleep between scheduler ticks")
     serve.add_argument("--drain", action="store_true",
@@ -825,7 +865,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_service_client_arguments(result, with_job=True)
     result.set_defaults(func=_cmd_result)
 
-    cancel = subparsers.add_parser("cancel", help="cancel a queued service job")
+    cancel = subparsers.add_parser(
+        "cancel",
+        help="cancel a service job (running jobs stop between cells)")
     add_service_client_arguments(cancel, with_job=True)
     cancel.set_defaults(func=_cmd_cancel)
 
@@ -841,6 +883,15 @@ def build_parser() -> argparse.ArgumentParser:
     queue_stats = queue_sub.add_parser(
         "stats", help="queue counts, dedup ratio and daemon heartbeat")
     add_service_client_arguments(queue_stats, with_job=False)
+    queue_stats.add_argument("--prune-events", action="store_true",
+                             help="prune submit-event files older than the "
+                                  "retain window before reporting (the pruned "
+                                  "count is archived; the dedup ratio is "
+                                  "unchanged)")
+    queue_stats.add_argument("--retain-seconds", type=float, default=86400.0,
+                             metavar="SECONDS",
+                             help="retain window for --prune-events "
+                                  "(default: one day)")
     queue_stats.set_defaults(func=_cmd_queue_stats)
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's tables and figures")

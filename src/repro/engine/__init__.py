@@ -11,7 +11,16 @@ from repro.engine.base import (
     Engine,
     available_engines,
     get_engine,
+    get_engine_class,
     register_engine,
+)
+from repro.engine.shmplane import (
+    AttachedPlane,
+    LocalChunkSource,
+    PlaneLayout,
+    SharedTracePlane,
+    TraceChunkSource,
+    leaked_segments,
 )
 from repro.engine.adapters import (
     CrcbJanapsatyaEngine,
@@ -33,7 +42,14 @@ __all__ = [
     "Engine",
     "available_engines",
     "get_engine",
+    "get_engine_class",
     "register_engine",
+    "AttachedPlane",
+    "LocalChunkSource",
+    "PlaneLayout",
+    "SharedTracePlane",
+    "TraceChunkSource",
+    "leaked_segments",
     "DewEngine",
     "SingleConfigEngine",
     "JanapsatyaEngine",

@@ -174,13 +174,24 @@ def register_engine(name: str):
 
 def get_engine(name: str, **options) -> Engine:
     """Construct a registered engine by key, forwarding keyword options."""
+    return get_engine_class(name)(**options)
+
+
+def get_engine_class(name: str) -> Type[Engine]:
+    """Look up a registered engine class by key without constructing it.
+
+    The class-level capability flags (:attr:`Engine.supports_block_runs`,
+    :attr:`Engine.wants_access_types`) are meaningful on the class itself,
+    so callers planning shared decode work — the shared-memory trace plane
+    in :mod:`repro.engine.shmplane` — can interrogate a whole job list
+    without instantiating (and paying the state allocation of) any engine.
+    """
     key = str(name).strip().lower()
     try:
-        cls = _ENGINE_REGISTRY[key]
+        return _ENGINE_REGISTRY[key]
     except KeyError:
         available = ", ".join(available_engines()) or "<none>"
         raise EngineError(f"unknown engine {name!r}; available: {available}") from None
-    return cls(**options)
 
 
 def available_engines() -> List[str]:

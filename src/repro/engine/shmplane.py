@@ -1,0 +1,536 @@
+"""Zero-copy shared-memory trace plane for the fused sweep executor.
+
+The pooled fused sweep historically shipped the whole :class:`~repro.trace.
+trace.Trace` to every worker (pickled under ``spawn``/``forkserver``, copied
+on write under ``fork``) and then had **each worker re-derive** its batch's
+decoded state: the byte-address-to-block-address shift per block size and
+the run-length collapse per chunk.  At high ``--workers`` counts that data
+movement — ``N x trace_bytes`` of copies plus ``N`` redundant decodes — is
+the sweep bottleneck, not simulation.
+
+This module removes it.  The parent decodes the trace **once**, publishes
+every decoded array exactly once into a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and hands each
+worker a compact :class:`PlaneLayout` descriptor (segment name plus
+dtype/shape/offset per array — a few hundred bytes) instead of the arrays
+themselves.  Workers attach lazily on first use, map the segment read-only,
+and serve the fused executor numpy views **without a single copy or
+re-decode**; the attachment is cached in the worker so every batch reuses
+one mapping.
+
+Three source classes share one chunk-serving API (:class:`TraceChunkSource`),
+which is what lets the serial path, the pooled path and the service daemon
+all ride the same plane:
+
+* :class:`LocalChunkSource` — in-process decode-on-demand over a plain
+  :class:`~repro.trace.trace.Trace` (the storeless/serial default; exactly
+  the arrays the pre-plane executor computed inline);
+* :class:`SharedTracePlane` — the parent-side owner: publishes, serves its
+  own views, and is responsible for ``unlink`` (see *lifecycle* below);
+* :class:`AttachedPlane` — the worker-side read-only mapping built from a
+  :class:`PlaneLayout`.
+
+**Byte-identity.**  The plane stores the *same* arrays the executor would
+compute locally — ``addresses >> offset_bits`` per block size, and
+:func:`~repro.trace.trace.collapse_block_runs` applied chunk-by-chunk with
+the sweep's ``chunk_size`` (runs are never merged across chunk boundaries,
+matching the local pipeline exactly) — so results, work counters and store
+artifacts are identical with the plane on or off.
+
+**Lifecycle.**  The creating process owns the segment name: ``run_sweep``
+wraps execution in ``try/finally`` and calls :meth:`SharedTracePlane.destroy`
+(close + unlink, idempotent) on normal exit, on a worker raising, and on
+``KeyboardInterrupt`` — unlinking while workers are still attached is safe
+on POSIX (the name disappears; existing mappings live until the processes
+do).  The :mod:`multiprocessing.resource_tracker` keeps exactly one
+registration — the creator's — as a crash safety net: if the parent is
+killed outright, the tracker unlinks the segment at shutdown.  Worker
+attachments are careful not to disturb that single entry (see
+:func:`_attach_untracked`).  :func:`leaked_segments` scans ``/dev/shm`` for
+plane segments so tests and CI can assert nothing was orphaned.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.base import Engine, get_engine_class
+from repro.errors import EngineError
+from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace, collapse_block_runs
+
+#: Shared-memory segment name prefix; short enough for macOS's 31-char
+#: PSHMNAMLEN, recognizable enough for the leak scan and the CI orphan check.
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Array offsets inside a segment are aligned to cache-line size so numpy
+#: views start on naturally-aligned addresses for every dtype we store.
+_ALIGN = 64
+
+_KEY_ADDRESSES = "addresses"
+_KEY_TYPES = "types"
+
+
+def _blocks_key(offset_bits: int) -> str:
+    return f"blocks:{int(offset_bits)}"
+
+
+def _runs_key(offset_bits: int, part: str) -> str:
+    return f"runs:{int(offset_bits)}:{part}"
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one array inside the shared segment (picklable, compact)."""
+
+    key: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class PlaneLayout:
+    """The compact shared-layout descriptor workers receive instead of arrays.
+
+    Everything a worker needs to rebuild zero-copy views: the segment name,
+    the trace's identity-for-reporting (name, length), the chunk geometry the
+    decode used, and one :class:`ArraySpec` per published array.  A layout
+    pickles to a few hundred bytes regardless of trace size — that is the
+    entire per-worker transfer with the plane enabled.
+    """
+
+    segment: str
+    trace_name: str
+    length: int
+    chunk_size: int
+    collapse: bool
+    arrays: Tuple[ArraySpec, ...]
+    total_bytes: int
+
+    def spec(self, key: str) -> Optional[ArraySpec]:
+        for candidate in self.arrays:
+            if candidate.key == key:
+                return candidate
+        return None
+
+
+class TraceChunkSource:
+    """Chunk-serving API the fused executor consumes.
+
+    Implementations expose the trace sliced into ``chunk_size`` pieces and
+    serve, per chunk, the pre-shifted block addresses for any block size,
+    the per-chunk run-length collapse, and the access-type codes.  All
+    returned arrays must be treated as read-only.
+    """
+
+    trace_name: str = "trace"
+    length: int = 0
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    collapse: bool = True
+
+    @property
+    def num_chunks(self) -> int:
+        if self.length == 0:
+            return 0
+        return (self.length + self.chunk_size - 1) // self.chunk_size
+
+    def chunk_bounds(self, chunk_index: int) -> Tuple[int, int]:
+        start = chunk_index * self.chunk_size
+        return start, min(start + self.chunk_size, self.length)
+
+    def blocks(self, chunk_index: int, offset_bits: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def runs(
+        self, chunk_index: int, offset_bits: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        raise NotImplementedError
+
+    def types(self, chunk_index: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class LocalChunkSource(TraceChunkSource):
+    """Decode-on-demand source over an in-process :class:`Trace`.
+
+    This is the storeless/serial behaviour the executor always had, factored
+    behind the source API: one vectorised shift per (chunk, block size) and
+    one run-length collapse over that same array.  A single-slot memo keeps
+    the executor's access pattern (blocks then runs for the same chunk and
+    offset) from shifting twice.
+    """
+
+    def __init__(self, trace: Trace, chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 collapse: bool = True) -> None:
+        self.trace = trace
+        self.trace_name = trace.name
+        self.length = len(trace)
+        self.chunk_size = max(int(chunk_size), 1)
+        self.collapse = bool(collapse)
+        self._memo_key: Optional[Tuple[int, int]] = None
+        self._memo_blocks: Optional[np.ndarray] = None
+
+    def blocks(self, chunk_index: int, offset_bits: int) -> np.ndarray:
+        key = (chunk_index, int(offset_bits))
+        if self._memo_key != key or self._memo_blocks is None:
+            start, stop = self.chunk_bounds(chunk_index)
+            self._memo_blocks = self.trace.addresses[start:stop] >> int(offset_bits)
+            self._memo_key = key
+        return self._memo_blocks
+
+    def runs(
+        self, chunk_index: int, offset_bits: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        if not self.collapse:
+            return None
+        return collapse_block_runs(self.blocks(chunk_index, offset_bits))
+
+    def types(self, chunk_index: int) -> np.ndarray:
+        start, stop = self.chunk_bounds(chunk_index)
+        return self.trace.access_types[start:stop]
+
+
+@dataclass(frozen=True)
+class DecodeRequirements:
+    """What the plane must publish for one job list."""
+
+    offsets: Tuple[int, ...]              # distinct offset_bits across jobs
+    runs_offsets: Tuple[int, ...]         # offsets with a run-consuming engine
+    needs_types: bool                     # any engine wants access types
+
+
+def _job_offset_bits(job) -> Optional[int]:
+    """The job's block-offset width, derived from its options when possible."""
+    options = dict(job.options)
+    block_size = options.get("block_size")
+    if block_size is None:
+        block_size = getattr(options.get("config"), "block_size", None)
+    if block_size is None:
+        return None
+    block_size = int(block_size)
+    if block_size <= 0 or block_size & (block_size - 1):
+        return None
+    return block_size.bit_length() - 1
+
+
+def decode_requirements(jobs: Sequence) -> DecodeRequirements:
+    """Derive the decode plan for a job list without building every engine.
+
+    ``supports_block_runs`` and ``wants_access_types`` are class attributes,
+    so the registry answers them without instantiation; ``offset_bits`` is
+    ``log2(block_size)`` for every engine in the registry and is read from
+    the job options.  A job whose options carry no block size (an engine
+    added later with a different geometry) falls back to building one probe
+    instance — correctness never depends on the fast path.
+    """
+    offsets: Dict[int, bool] = {}
+    needs_types = False
+    for job in jobs:
+        cls = get_engine_class(job.engine)
+        offset_bits = _job_offset_bits(job)
+        if offset_bits is None:
+            probe: Engine = job.build()
+            offset_bits = int(probe.offset_bits)
+        wants_runs = bool(cls.supports_block_runs)
+        offsets[offset_bits] = offsets.get(offset_bits, False) or wants_runs
+        needs_types = needs_types or bool(cls.wants_access_types)
+    return DecodeRequirements(
+        offsets=tuple(sorted(offsets)),
+        runs_offsets=tuple(sorted(o for o, runs in offsets.items() if runs)),
+        needs_types=needs_types,
+    )
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without disturbing tracker ownership.
+
+    On Python >= 3.13 the attachment opts out of resource-tracker
+    registration entirely (``track=False``), leaving the creating process
+    the single registered owner.  Earlier Pythons register attachments
+    unconditionally — but pool workers (forked *and* spawned; the spawn
+    machinery hands children the parent's tracker fd) share the parent's
+    tracker process, whose cache is a set, so the re-registration is a
+    no-op and the parent's eventual ``unlink`` still deregisters exactly
+    once.  Explicitly *unregistering* here would instead clear the shared
+    entry out from under the parent — dropping the crash safety net and
+    making the parent's unlink complain — so we deliberately leave the
+    registration alone on those versions.
+    """
+    try:
+        # Python >= 3.13 supports opting out directly.
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+class _PlaneView(TraceChunkSource):
+    """Shared chunk-serving implementation over a mapped segment."""
+
+    def __init__(self, layout: PlaneLayout, segment: shared_memory.SharedMemory) -> None:
+        self.layout = layout
+        self.trace_name = layout.trace_name
+        self.length = layout.length
+        self.chunk_size = layout.chunk_size
+        self.collapse = layout.collapse
+        self._segment: Optional[shared_memory.SharedMemory] = segment
+        self._views: Dict[str, np.ndarray] = {}
+
+    # -- array access ---------------------------------------------------------
+
+    def _array(self, key: str) -> Optional[np.ndarray]:
+        view = self._views.get(key)
+        if view is not None:
+            return view
+        spec = self.layout.spec(key)
+        if spec is None:
+            return None
+        if self._segment is None:
+            raise EngineError("shared trace plane is closed")
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype),
+            buffer=self._segment.buf, offset=spec.offset,
+        )
+        view.setflags(write=False)
+        self._views[key] = view
+        return view
+
+    def blocks(self, chunk_index: int, offset_bits: int) -> np.ndarray:
+        start, stop = self.chunk_bounds(chunk_index)
+        published = self._array(_blocks_key(offset_bits))
+        if published is not None:
+            return published[start:stop]
+        # Safety net for offsets outside the published plan: derive from the
+        # always-published address array (still zero-copy reads, one shift).
+        addresses = self._array(_KEY_ADDRESSES)
+        if addresses is None:  # pragma: no cover - addresses are always published
+            raise EngineError("shared trace plane holds no address array")
+        return addresses[start:stop] >> int(offset_bits)
+
+    def runs(
+        self, chunk_index: int, offset_bits: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        if not self.collapse:
+            return None
+        splits = self._array(_runs_key(offset_bits, "splits"))
+        if splits is None:
+            # Offset outside the published run plan: collapse locally so the
+            # executor's behaviour (and results) never depend on the plan.
+            return collapse_block_runs(self.blocks(chunk_index, offset_bits))
+        values = self._array(_runs_key(offset_bits, "values"))
+        counts = self._array(_runs_key(offset_bits, "counts"))
+        assert values is not None and counts is not None
+        start, stop = int(splits[chunk_index]), int(splits[chunk_index + 1])
+        return values[start:stop], counts[start:stop]
+
+    def types(self, chunk_index: int) -> np.ndarray:
+        published = self._array(_KEY_TYPES)
+        if published is None:
+            raise EngineError(
+                "shared trace plane was published without access types; "
+                "republish with a job list that wants them"
+            )
+        start, stop = self.chunk_bounds(chunk_index)
+        return published[start:stop]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the mapping (views first, so the mmap can actually close)."""
+        self._views.clear()
+        segment = self._segment
+        self._segment = None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a caller leaked a view
+            # The mapping stays until process exit; unlink (the part that
+            # prevents orphaned /dev/shm files) is unaffected.
+            pass
+
+
+class AttachedPlane(_PlaneView):
+    """A worker's read-only mapping of a published plane."""
+
+    @classmethod
+    def attach(cls, layout: PlaneLayout) -> "AttachedPlane":
+        try:
+            segment = _attach_untracked(layout.segment)
+        except (OSError, ValueError) as exc:
+            raise EngineError(
+                f"could not attach shared trace plane {layout.segment!r}: {exc}"
+            ) from exc
+        return cls(layout, segment)
+
+
+class SharedTracePlane(_PlaneView):
+    """The parent-side plane: publishes once, serves views, owns the unlink.
+
+    Build via :meth:`publish`.  The instance is itself a
+    :class:`TraceChunkSource` (the parent's serial executor rides the same
+    segment the workers map), and :meth:`descriptor` returns the compact
+    :class:`PlaneLayout` to pass to workers.  Always destroy in a
+    ``finally``: :meth:`destroy` is idempotent and safe while workers are
+    still attached.
+    """
+
+    def __init__(self, layout: PlaneLayout, segment: shared_memory.SharedMemory) -> None:
+        super().__init__(layout, segment)
+        self._owner_segment = segment
+        self._unlinked = False
+
+    @classmethod
+    def publish(
+        cls,
+        trace: Trace,
+        jobs: Sequence,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        collapse: bool = True,
+    ) -> "SharedTracePlane":
+        """Decode ``trace`` once for ``jobs`` and publish the shared segment.
+
+        Publishes the raw address array, the per-block-size shift arrays,
+        the per-(chunk, block size) run-length arrays for every offset with
+        a run-consuming engine, and the access-type array when any engine
+        wants it.  Raises :class:`OSError` when the platform cannot supply
+        the segment (callers without an explicit ``shm=True`` fall back to
+        the copy path).
+        """
+        chunk_size = max(int(chunk_size), 1)
+        plan = decode_requirements(jobs)
+        arrays: List[Tuple[str, np.ndarray]] = []
+        addresses = np.ascontiguousarray(trace.addresses)
+        arrays.append((_KEY_ADDRESSES, addresses))
+        if plan.needs_types:
+            arrays.append((_KEY_TYPES, np.ascontiguousarray(trace.access_types)))
+        length = int(addresses.size)
+        num_chunks = (length + chunk_size - 1) // chunk_size if length else 0
+        runs_offsets = set(plan.runs_offsets) if collapse else set()
+        for offset_bits in plan.offsets:
+            blocks = addresses >> offset_bits
+            arrays.append((_blocks_key(offset_bits), blocks))
+            if offset_bits not in runs_offsets:
+                continue
+            # Chunk-by-chunk collapse, exactly as the local pipeline does it
+            # (runs never merge across chunk boundaries); the per-chunk run
+            # slices are recovered through a splits index.
+            values_parts: List[np.ndarray] = []
+            counts_parts: List[np.ndarray] = []
+            splits = np.zeros(num_chunks + 1, dtype=np.int64)
+            for chunk_index in range(num_chunks):
+                start = chunk_index * chunk_size
+                stop = min(start + chunk_size, length)
+                values, counts = collapse_block_runs(blocks[start:stop])
+                values_parts.append(values)
+                counts_parts.append(counts)
+                splits[chunk_index + 1] = splits[chunk_index] + values.size
+            values_all = (
+                np.concatenate(values_parts) if values_parts
+                else np.empty(0, dtype=np.int64)
+            )
+            counts_all = (
+                np.concatenate(counts_parts) if counts_parts
+                else np.empty(0, dtype=np.int64)
+            )
+            arrays.append((_runs_key(offset_bits, "values"), values_all))
+            arrays.append((_runs_key(offset_bits, "counts"), counts_all))
+            arrays.append((_runs_key(offset_bits, "splits"), splits))
+
+        specs: List[ArraySpec] = []
+        cursor = 0
+        for key, array in arrays:
+            cursor = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
+            specs.append(ArraySpec(key, array.dtype.str, array.shape, cursor))
+            cursor += array.nbytes
+        total = max(cursor, 1)
+        segment = shared_memory.SharedMemory(
+            name=_new_segment_name(), create=True, size=total
+        )
+        try:
+            for spec, (_, array) in zip(specs, arrays):
+                if array.size == 0:
+                    continue
+                target = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype),
+                    buffer=segment.buf, offset=spec.offset,
+                )
+                np.copyto(target, array)
+                del target
+        except BaseException:
+            # Publication failed half-way: never leave an orphaned segment.
+            segment.close()
+            _unlink_quietly(segment)
+            raise
+        layout = PlaneLayout(
+            segment=segment.name,
+            trace_name=trace.name,
+            length=length,
+            chunk_size=chunk_size,
+            collapse=bool(collapse),
+            arrays=tuple(specs),
+            total_bytes=total,
+        )
+        return cls(layout, segment)
+
+    def descriptor(self) -> PlaneLayout:
+        """The compact layout to ship to workers (a few hundred bytes)."""
+        return self.layout
+
+    def unlink(self) -> None:
+        """Remove the segment name (idempotent; live mappings survive it).
+
+        ``SharedMemory.unlink`` works from the name alone (no mapping
+        required, so the order relative to :meth:`close` does not matter)
+        and deregisters the creating process's resource-tracker entry, so
+        a clean sweep leaves neither a ``/dev/shm`` file nor a tracker
+        warning behind.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._owner_segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced with a cleaner
+            pass
+
+    def destroy(self) -> None:
+        """Close the mapping and unlink the segment; safe to call twice."""
+        self.close()
+        self.unlink()
+
+    def __enter__(self) -> "SharedTracePlane":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.destroy()
+
+
+def _new_segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{os.urandom(3).hex()}"
+
+
+def _unlink_quietly(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Plane segments currently visible in ``/dev/shm`` (Linux).
+
+    Tests and the CI orphan check call this after sweeps to assert cleanup;
+    on platforms without ``/dev/shm`` it reports an empty list (the POSIX
+    name namespace is not enumerable portably).
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    return sorted(
+        entry for entry in os.listdir(root) if entry.startswith(prefix)
+    )

@@ -52,9 +52,16 @@ import numpy as np
 from repro.core.config import CacheConfig
 from repro.core.results import ResultsFrame, SimulationResults
 from repro.engine.base import Engine, get_engine
+from repro.engine.shmplane import (
+    AttachedPlane,
+    LocalChunkSource,
+    PlaneLayout,
+    SharedTracePlane,
+    TraceChunkSource,
+)
 from repro.errors import EngineError, VerificationError
 from repro.store import ResultStore, StoreKey, open_store
-from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace, collapse_block_runs
+from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 from repro.types import ReplacementPolicy
 
 #: Option names whose values are replacement policies and are parsed as such
@@ -315,17 +322,27 @@ class FusedSweepExecutor:
 
     def __init__(
         self,
-        trace: Union[Trace, Sequence[int]],
+        trace: Union[Trace, Sequence[int], TraceChunkSource],
         jobs: Sequence[SweepJob],
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         collapse: bool = True,
     ) -> None:
-        self.trace = _coerce_trace(trace)
+        if isinstance(trace, TraceChunkSource):
+            # Pre-decoded input (typically a shared-memory plane): the chunk
+            # geometry is baked into the published arrays, so the source's
+            # settings win over the constructor arguments.
+            self.source = trace
+            self.trace = getattr(trace, "trace", None)
+        else:
+            self.trace = _coerce_trace(trace)
+            self.source = LocalChunkSource(
+                self.trace, chunk_size=chunk_size, collapse=collapse
+            )
         self.jobs = list(jobs)
         if not self.jobs:
             raise EngineError("FusedSweepExecutor needs at least one job")
-        self.chunk_size = max(int(chunk_size), 1)
-        self.collapse = bool(collapse)
+        self.chunk_size = self.source.chunk_size
+        self.collapse = self.source.collapse
 
     def execute(self) -> List[SimulationResults]:
         """One fused pass; per-job results in job order."""
@@ -334,29 +351,29 @@ class FusedSweepExecutor:
         for index, engine in enumerate(engines):
             groups.setdefault(engine.offset_bits, []).append(index)
         elapsed = [0.0] * len(engines)
-        addresses = self.trace.addresses
-        types = self.trace.access_types
-        length = int(addresses.size)
-        for start in range(0, length, self.chunk_size):
-            stop = min(start + self.chunk_size, length)
-            addr_chunk = addresses[start:stop]
+        source = self.source
+        for chunk_index in range(source.num_chunks):
             type_chunk: Optional[np.ndarray] = None
             for offset_bits, members in groups.items():
                 # All shared decode work happens outside the per-engine
-                # timers, so reported timings are order-independent.
-                blocks = addr_chunk >> offset_bits
+                # timers, so reported timings are order-independent.  With a
+                # shared plane as source these calls are zero-copy views
+                # into the published segment; with a local source they run
+                # the same shift/collapse the pre-plane executor did inline.
+                blocks = source.blocks(chunk_index, offset_bits)
                 runs: Optional[Tuple[List[int], np.ndarray]] = None
                 if self.collapse and any(
                     engines[index].supports_block_runs for index in members
                 ):
-                    values, counts = collapse_block_runs(blocks)
-                    # One list conversion shared by every consumer; counts
-                    # stay an ndarray (summed vectorised).
-                    runs = (values.tolist(), counts)
+                    pair = source.runs(chunk_index, offset_bits)
+                    if pair is not None:
+                        # One list conversion shared by every consumer;
+                        # counts stay an ndarray (summed vectorised).
+                        runs = (pair[0].tolist(), pair[1])
                 if type_chunk is None and any(
                     engines[index].wants_access_types for index in members
                 ):
-                    type_chunk = types[start:stop]
+                    type_chunk = source.types(chunk_index)
                 for index in members:
                     engine = engines[index]
                     begin = time.perf_counter()
@@ -369,22 +386,44 @@ class FusedSweepExecutor:
                     elapsed[index] += time.perf_counter() - begin
         results = []
         for index, engine in enumerate(engines):
-            fresh = engine.finalize(trace_name=self.trace.name)
+            fresh = engine.finalize(trace_name=source.trace_name)
             fresh.elapsed_seconds = elapsed[index]
             results.append(fresh)
         return results
 
 
 # Per-worker state installed by the pool initializer: workers inherit the
-# trace and job list once instead of re-pickling them for every job.
+# job list once instead of re-pickling it for every job, plus either the
+# trace itself (copy path) or a compact shared-plane layout (zero-copy path).
 _WORKER_STATE: Dict[str, Any] = {}
 
 
-def _sweep_worker_init(trace: Union[Trace, Sequence[int]], jobs: Sequence[SweepJob],
-                       chunk_size: int) -> None:
+def _sweep_worker_init(
+    trace: Optional[Union[Trace, Sequence[int]]],
+    jobs: Sequence[SweepJob],
+    chunk_size: int,
+    plane_layout: Optional[PlaneLayout] = None,
+) -> None:
+    _WORKER_STATE.clear()
     _WORKER_STATE["trace"] = trace
     _WORKER_STATE["jobs"] = list(jobs)
     _WORKER_STATE["chunk_size"] = chunk_size
+    _WORKER_STATE["plane_layout"] = plane_layout
+
+
+def _worker_chunk_source() -> Union[Trace, Sequence[int], TraceChunkSource]:
+    """The worker's fused-executor input: the shared plane when one was
+    published (attached lazily on first use, the mapping cached and reused
+    across every batch this worker runs), else the inherited/pickled trace.
+    """
+    layout = _WORKER_STATE.get("plane_layout")
+    if layout is None:
+        return _WORKER_STATE["trace"]
+    plane = _WORKER_STATE.get("plane")
+    if plane is None:
+        plane = AttachedPlane.attach(layout)
+        _WORKER_STATE["plane"] = plane
+    return plane
 
 
 def _sweep_worker_run(index: int) -> SimulationResults:
@@ -396,7 +435,7 @@ def _fused_worker_run(positions: Sequence[int]) -> Tuple[Tuple[int, ...], List[S
     """Execute one fused batch; returns the positions with their results."""
     jobs = _WORKER_STATE["jobs"]
     executor = FusedSweepExecutor(
-        _WORKER_STATE["trace"],
+        _worker_chunk_source(),
         [jobs[position] for position in positions],
         _WORKER_STATE["chunk_size"],
     )
@@ -457,6 +496,7 @@ def run_sweep(
     force: bool = False,
     fused: bool = True,
     on_result: Optional[Callable[[int, SweepJob, SimulationResults, bool], None]] = None,
+    shm: Optional[bool] = None,
 ) -> SweepOutcome:
     """Execute sweep jobs over ``trace``, optionally in parallel and incremental.
 
@@ -497,7 +537,25 @@ def run_sweep(
         ``cached=True`` for store hits and ``cached=False`` for fresh
         executions (after the result has been persisted, when a store is
         in use).  The service daemon uses this to record per-cell
-        completion durably; hooks must not raise if the sweep is to finish.
+        completion durably, and to *abort* a sweep between cells: a hook
+        may raise (conventionally :class:`~repro.errors.SweepAborted`) and
+        the exception propagates to the caller after worker pools and
+        shared-memory segments are cleaned up.  Results persisted before
+        the abort stay in the store, so a re-run resumes from them.
+    shm:
+        Shared-memory trace fan-out (see :mod:`repro.engine.shmplane`).
+        ``None`` (the default) publishes the decoded trace once into a
+        shared segment whenever fused work is fanned out to a pool —
+        workers then map it read-only instead of each receiving a trace
+        copy and re-deriving the shift/RLE arrays — and falls back to the
+        copy path if the platform cannot supply shared memory.  ``True``
+        forces the plane (an unavailable platform raises
+        :class:`~repro.errors.EngineError`) and also routes *serial* fused
+        execution through a published plane, which is how the identity of
+        the shared decode is tested.  ``False`` disables shared memory
+        entirely (the CLI's ``--no-shm`` escape hatch).  Results are
+        byte-identical in every mode; the segment is unlinked on normal
+        exit, worker crash, and KeyboardInterrupt alike.
     """
     job_list = list(jobs)
     if not job_list:
@@ -529,59 +587,99 @@ def run_sweep(
         if on_result is not None:
             on_result(index, job_list[index], fresh, False)
 
-    if not missing:
-        effective_workers = 1
-    elif workers <= 1 or len(missing) == 1:
-        effective_workers = 1
-        if fused:
-            # With a store, run one fused pass per decode group and persist
-            # as each group finishes: cross-block-size fusion shares almost
-            # nothing (the shift and collapse are per-offset anyway), so
-            # this keeps a killed sweep's resume granularity close to
-            # per-job instead of all-or-nothing.  Storeless runs use one
-            # pass over everything.
-            if result_store is not None:
-                group_batches: Dict[Tuple[int, str], List[int]] = {}
-                for index in missing:
-                    group_batches.setdefault(_job_decode_key(job_list[index]), []).append(index)
-                batches = list(group_batches.values())
-            else:
-                batches = [missing]
-            for batch in batches:
-                executor = FusedSweepExecutor(
-                    trace, [job_list[index] for index in batch], chunk_size
-                )
-                for offset, fresh in enumerate(executor.execute()):
-                    persist(batch[offset], fresh)
-        else:
-            for index in missing:
-                persist(index, _execute_job(job_list[index], trace, chunk_size))
-    else:
-        context = multiprocessing.get_context(mp_context)
-        effective_workers = min(workers, len(missing))
-        pending = [job_list[index] for index in missing]
-        with context.Pool(
-            effective_workers,
-            initializer=_sweep_worker_init,
-            initargs=(trace, pending, chunk_size),
-        ) as pool:
+    plane: Optional[SharedTracePlane] = None
+
+    def publish_plane(pending_jobs: Sequence[SweepJob]) -> Optional[SharedTracePlane]:
+        # Decode once, publish once.  shm=None degrades gracefully to the
+        # copy path when the platform cannot supply shared memory;
+        # shm=True insists.
+        try:
+            return SharedTracePlane.publish(trace, pending_jobs, chunk_size)
+        except OSError as exc:
+            if shm:
+                raise EngineError(
+                    f"shared-memory trace plane unavailable: {exc}"
+                ) from exc
+            return None
+
+    try:
+        if not missing:
+            effective_workers = 1
+        elif workers <= 1 or len(missing) == 1:
+            effective_workers = 1
             if fused:
-                # One fused batch per worker, batched to maximise shared
-                # decode; each batch's artifacts are persisted the moment
-                # the batch finishes.
-                batches = _partition_fused_batches(pending, effective_workers)
-                for positions, batch in pool.imap_unordered(_fused_worker_run, batches):
-                    for position, fresh in zip(positions, batch):
-                        persist(missing[position], fresh)
+                if shm:
+                    # Serial execution gains nothing from shared memory, but
+                    # an explicit shm=True routes it through a published
+                    # plane anyway — the identity oracle for the shared
+                    # decode, and the same arrays workers would map.
+                    plane = publish_plane([job_list[index] for index in missing])
+                # With a store, run one fused pass per decode group and persist
+                # as each group finishes: cross-block-size fusion shares almost
+                # nothing (the shift and collapse are per-offset anyway), so
+                # this keeps a killed sweep's resume granularity close to
+                # per-job instead of all-or-nothing.  Storeless runs use one
+                # pass over everything.
+                if result_store is not None:
+                    group_batches: Dict[Tuple[int, str], List[int]] = {}
+                    for index in missing:
+                        group_batches.setdefault(_job_decode_key(job_list[index]), []).append(index)
+                    batches = list(group_batches.values())
+                else:
+                    batches = [missing]
+                for batch in batches:
+                    executor = FusedSweepExecutor(
+                        plane if plane is not None else trace,
+                        [job_list[index] for index in batch],
+                        chunk_size,
+                    )
+                    for offset, fresh in enumerate(executor.execute()):
+                        persist(batch[offset], fresh)
             else:
-                # imap yields in submission order as results complete, so
-                # each fresh result is persisted without waiting for the
-                # whole pool — a kill mid-sweep keeps everything already
-                # finished.
-                for offset, fresh in enumerate(
-                    pool.imap(_sweep_worker_run, range(len(pending)))
-                ):
-                    persist(missing[offset], fresh)
+                for index in missing:
+                    persist(index, _execute_job(job_list[index], trace, chunk_size))
+        else:
+            context = multiprocessing.get_context(mp_context)
+            effective_workers = min(workers, len(missing))
+            pending = [job_list[index] for index in missing]
+            if fused and shm is not False:
+                plane = publish_plane(pending)
+            if plane is not None:
+                # Workers receive the compact layout descriptor instead of
+                # the trace: nothing trace-sized is pickled or copied, and
+                # each worker attaches lazily on its first batch.
+                initargs = (None, pending, chunk_size, plane.descriptor())
+            else:
+                initargs = (trace, pending, chunk_size)
+            with context.Pool(
+                effective_workers,
+                initializer=_sweep_worker_init,
+                initargs=initargs,
+            ) as pool:
+                if fused:
+                    # One fused batch per worker, batched to maximise shared
+                    # decode; each batch's artifacts are persisted the moment
+                    # the batch finishes.
+                    batches = _partition_fused_batches(pending, effective_workers)
+                    for positions, batch in pool.imap_unordered(_fused_worker_run, batches):
+                        for position, fresh in zip(positions, batch):
+                            persist(missing[position], fresh)
+                else:
+                    # imap yields in submission order as results complete, so
+                    # each fresh result is persisted without waiting for the
+                    # whole pool — a kill mid-sweep keeps everything already
+                    # finished.
+                    for offset, fresh in enumerate(
+                        pool.imap(_sweep_worker_run, range(len(pending)))
+                    ):
+                        persist(missing[offset], fresh)
+    finally:
+        # The creating process owns the segment: unlink it no matter how
+        # execution ended (normal return, worker crash propagating out of
+        # the pool, KeyboardInterrupt, an aborting on_result hook), so no
+        # /dev/shm orphans survive the sweep.
+        if plane is not None:
+            plane.destroy()
     elapsed = time.perf_counter() - start
     final = [result for result in results if result is not None]
     assert len(final) == len(job_list)

@@ -54,6 +54,17 @@ class StoreError(ReproError):
     """
 
 
+class SweepAborted(ReproError):
+    """A sweep was deliberately stopped between cells.
+
+    Raised by a :func:`~repro.engine.sweep.run_sweep` ``on_result`` hook to
+    abort the remaining work — the service daemon raises it when a running
+    job's cancel request is observed.  ``run_sweep`` propagates it after
+    cleaning up worker pools and shared-memory segments; cells persisted
+    before the abort stay in the store, so a re-run resumes from them.
+    """
+
+
 class VerificationError(ReproError):
     """Cross-checking two simulators found differing hit/miss counts."""
 

@@ -40,8 +40,10 @@ from repro.core.results import ResultsFrame
 from repro.engine.sweep import SweepJob, build_grid_jobs
 from repro.errors import ServiceError
 from repro.service.queue import (
+    DEFAULT_EVENT_RETAIN_SECONDS,
     STATE_DONE,
     STATE_FAILED,
+    STATE_RUNNING,
     TERMINAL_STATES,
     JobRecord,
     open_service,
@@ -253,9 +255,23 @@ class ServiceClient:
         )
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
-        """Cancel a queued (or failed) job."""
+        """Cancel a job.
+
+        Queued and failed jobs flip to ``cancelled`` immediately; for a
+        *running* job a durable cancel request is recorded instead and the
+        daemon stops it between cells — the response carries
+        ``requested=True`` and the job's still-running record in that case.
+        """
         record = self.queue.cancel(job_id)
-        return ok_response("cancel", job=record_to_wire(record))
+        return ok_response(
+            "cancel",
+            job=record_to_wire(record),
+            requested=record.state == STATE_RUNNING,
+        )
+
+    def prune_events(self, retain_seconds: float = DEFAULT_EVENT_RETAIN_SECONDS) -> int:
+        """Prune stale submit-event files (see :meth:`JobQueue.prune_events`)."""
+        return self.queue.prune_events(retain_seconds)
 
     def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
         """All job records (optionally filtered by state) in claim order."""

@@ -44,9 +44,14 @@ from threading import Lock
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.engine.sweep import SweepJob, run_sweep
-from repro.errors import ReproError, ServiceError
+from repro.errors import ReproError, ServiceError, SweepAborted
 from repro.service.api import SweepRequest
-from repro.service.queue import JobQueue, JobRecord, open_service
+from repro.service.queue import (
+    DEFAULT_EVENT_RETAIN_SECONDS,
+    JobQueue,
+    JobRecord,
+    open_service,
+)
 from repro.store import ResultStore, StoreKey, open_store
 from repro.store.resultstore import _atomic_replace
 
@@ -71,6 +76,11 @@ class ServiceDaemon:
         in the scheduler loop; more uses a bounded thread pool.
     sweep_workers:
         Process fan-out *within* each job's sweep (``run_sweep(workers=)``).
+    shm:
+        Shared-memory trace fan-out forwarded to ``run_sweep(shm=)``:
+        ``None`` (default) publishes the decoded trace once per sweep and
+        lets the sweep's worker processes map it zero-copy, with automatic
+        fallback to the copy path; ``False`` disables the plane.
     poll_interval:
         Idle sleep between scheduler ticks, in seconds.
     on_cell:
@@ -85,8 +95,10 @@ class ServiceDaemon:
         store: Optional[Union[str, os.PathLike, ResultStore]] = None,
         workers: int = 1,
         sweep_workers: int = 1,
+        shm: Optional[bool] = None,
         poll_interval: float = 0.1,
         on_cell: Optional[Callable[[JobRecord, int, SweepJob, bool], None]] = None,
+        event_retain_seconds: float = DEFAULT_EVENT_RETAIN_SECONDS,
     ) -> None:
         self.queue: JobQueue = open_service(root)
         if store is None:
@@ -96,10 +108,13 @@ class ServiceDaemon:
         )
         self.workers = max(int(workers), 1)
         self.sweep_workers = max(int(sweep_workers), 1)
+        self.shm = shm
         self.poll_interval = max(float(poll_interval), 0.0)
         self.on_cell = on_cell
+        self.event_retain_seconds = float(event_retain_seconds)
         self.jobs_done = 0
         self.jobs_failed = 0
+        self.jobs_cancelled = 0
         self.cells_executed = 0
         self.cells_cached = 0
         self._stopping = False
@@ -125,20 +140,32 @@ class ServiceDaemon:
         """
         self._stopping = False
         recovered = self.queue.recover()
-        if recovered:
-            self._write_heartbeat(note=f"recovered {len(recovered)} job(s)")
-        finished_before = self.jobs_done + self.jobs_failed
+        # Startup is also when submit-event bookkeeping is compacted: the
+        # count of pruned events is folded into the archive, so the dedup
+        # ratio is unchanged while the directory stays bounded.
+        pruned = self.queue.prune_events(self.event_retain_seconds)
+        if recovered or pruned:
+            notes = []
+            if recovered:
+                notes.append(f"recovered {len(recovered)} job(s)")
+            if pruned:
+                notes.append(f"pruned {pruned} submit event(s)")
+            self._write_heartbeat(note="; ".join(notes))
+        finished_before = self._finished_total()
         if self.workers == 1:
             self._run_inline(drain, max_jobs, finished_before)
         else:
             self._run_pooled(drain, max_jobs, finished_before)
         self._write_heartbeat(note="stopped")
-        return (self.jobs_done + self.jobs_failed) - finished_before
+        return self._finished_total() - finished_before
+
+    def _finished_total(self) -> int:
+        return self.jobs_done + self.jobs_failed + self.jobs_cancelled
 
     def _finished_enough(self, finished_before: int, max_jobs: Optional[int]) -> bool:
         if max_jobs is None:
             return False
-        return (self.jobs_done + self.jobs_failed) - finished_before >= max_jobs
+        return self._finished_total() - finished_before >= max_jobs
 
     def _run_inline(
         self, drain: bool, max_jobs: Optional[int], finished_before: int
@@ -246,6 +273,15 @@ class ServiceDaemon:
                 self.queue.update_running(record)
                 if self.on_cell is not None:
                     self.on_cell(record, index, job, cached)
+                # Cancel requests are honored at cell granularity: the cell
+                # just persisted stays in the store, the rest of the sweep
+                # is abandoned, and run_sweep unwinds its pools/segments
+                # before the exception reaches the handler below.
+                if self.queue.cancel_requested(record.id):
+                    raise SweepAborted(
+                        f"job {record.id[:12]} cancelled after "
+                        f"{record.cells_done}/{record.cells_total} cell(s)"
+                    )
 
             outcome = run_sweep(
                 trace,
@@ -254,6 +290,7 @@ class ServiceDaemon:
                 store=self.store,
                 fused=True,
                 on_result=progress,
+                shm=self.shm,
             )
             payload = outcome.merged().to_json()
             record.execute_seconds = time.perf_counter() - started
@@ -269,6 +306,12 @@ class ServiceDaemon:
                 self.jobs_done += 1
                 self.cells_executed += outcome.executed_jobs
                 self.cells_cached += outcome.cached_jobs
+        except SweepAborted as exc:
+            record.execute_seconds = time.perf_counter() - started
+            record.error = str(exc)
+            self.queue.cancel_running(record)
+            with self._lock:
+                self.jobs_cancelled += 1
         except ReproError as exc:
             record.execute_seconds = time.perf_counter() - started
             self.queue.fail(record, str(exc))
@@ -323,6 +366,7 @@ class ServiceDaemon:
             "sweep_workers": self.sweep_workers,
             "jobs_done": self.jobs_done,
             "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
             "cells_executed": self.cells_executed,
             "cells_cached": self.cells_cached,
             "inflight_jobs": [job_id[:12] for job_id in inflight],

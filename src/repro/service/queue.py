@@ -8,8 +8,10 @@ Every job is one JSON file whose *directory* encodes its state::
     <root>/jobs/done/<id>.json
     <root>/jobs/failed/<id>.json
     <root>/jobs/cancelled/<id>.json
+    <root>/jobs/cancel-requests/<id>.cancel   cancel marker for a running job
     <root>/results/<id>.json      result payload of completed jobs
     <root>/events/<nonce>.submit  one empty file per submit call
+    <root>/events/archived.json   count of pruned submit events
     <root>/daemon.json            daemon heartbeat + counters
 
 Durability rules mirror the result store's:
@@ -77,6 +79,21 @@ _JOBS_DIR = "jobs"
 _RESULTS_DIR = "results"
 _EVENTS_DIR = "events"
 _RECORD_SUFFIX = ".json"
+
+#: Summary file the event pruner folds removed submit events into, so the
+#: all-time submission count (and thus the dedup ratio) survives pruning.
+_EVENTS_ARCHIVE = "archived.json"
+
+#: Directory of cancel-request markers for *running* jobs: one empty
+#: ``<id>.cancel`` file per requested cancellation, dropped by clients and
+#: honored by the daemon between cells.
+_CANCEL_DIR = "cancel-requests"
+_CANCEL_SUFFIX = ".cancel"
+
+#: Default retain window for submit-event files.  Events older than this
+#: carry no information beyond their count (which the archive preserves),
+#: so pruning them caps the directory at the last day's submission rate.
+DEFAULT_EVENT_RETAIN_SECONDS = 86_400.0
 
 
 @dataclass
@@ -230,6 +247,9 @@ class JobQueue:
             record.priority = max(record.priority, int(priority))
             self._write_record(STATE_QUEUED, record)
             self._transition(state, STATE_QUEUED, job_id, rewritten=True)
+            # A resubmission is an explicit retry: a cancel marker left by
+            # an earlier life of this job must not insta-cancel the new run.
+            self.clear_cancel_request(job_id)
             return record, False
         record = JobRecord(
             id=job_id,
@@ -316,11 +336,68 @@ class JobQueue:
         return result
 
     def submissions(self) -> int:
-        """Total submit calls observed (survives restarts; drives dedup ratio)."""
+        """Total submit calls observed (survives restarts; drives dedup ratio).
+
+        Live event files plus the count folded into the archive by
+        :meth:`prune_events`, so the all-time total is unaffected by pruning.
+        """
         events = self.root / _EVENTS_DIR
         if not events.is_dir():
             return 0
-        return sum(1 for _ in events.glob("*.submit"))
+        return sum(1 for _ in events.glob("*.submit")) + self._archived_events()
+
+    def _archived_events(self) -> int:
+        path = self.root / _EVENTS_DIR / _EVENTS_ARCHIVE
+        try:
+            payload = json.loads(path.read_text(encoding="ascii"))
+            return max(int(payload.get("count", 0)), 0)
+        except (OSError, ValueError, TypeError):
+            return 0
+
+    def prune_events(
+        self,
+        retain_seconds: float = DEFAULT_EVENT_RETAIN_SECONDS,
+        now: Optional[float] = None,
+    ) -> int:
+        """Delete submit-event files older than ``retain_seconds``.
+
+        Every submit call drops one empty event file forever, so a
+        long-lived service accumulates unbounded directory entries; this
+        folds the stale ones into a single archived count (preserving
+        :meth:`submissions` exactly) and removes the files.  Returns the
+        number pruned.  Wired into daemon startup recovery and
+        ``repro-dew queue stats --prune-events``; concurrent pruners are
+        safe (a file the other pruner already removed is simply skipped,
+        and the archive rewrite is atomic).  A crash between deleting and
+        archiving can under-count stale submissions — an accounting blip
+        in a stats counter, never in job state.
+        """
+        events = self.root / _EVENTS_DIR
+        if not events.is_dir():
+            return 0
+        cutoff = (time.time() if now is None else float(now)) - max(
+            float(retain_seconds), 0.0
+        )
+        pruned = 0
+        for path in events.glob("*.submit"):
+            try:
+                if path.stat().st_mtime >= cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue  # raced with a concurrent pruner (or unreadable)
+            pruned += 1
+        if pruned:
+            total = self._archived_events() + pruned
+            _atomic_replace(
+                events / _EVENTS_ARCHIVE,
+                lambda handle: json.dump(
+                    {"schema": 1, "count": total}, handle, sort_keys=True
+                ),
+                mode="w",
+                prefix=".tmp-events-",
+            )
+        return pruned
 
     # -- transitions -------------------------------------------------------------
 
@@ -400,6 +477,7 @@ class JobQueue:
         record.finished_at = time.time()
         self._write_record(STATE_DONE, record)
         self._transition(STATE_RUNNING, STATE_DONE, record.id, rewritten=True)
+        self.clear_cancel_request(record.id)
 
     def fail(self, record: JobRecord, error: str) -> None:
         """Flip a running job to ``failed`` with the error message."""
@@ -407,13 +485,21 @@ class JobQueue:
         record.finished_at = time.time()
         self._write_record(STATE_FAILED, record)
         self._transition(STATE_RUNNING, STATE_FAILED, record.id, rewritten=True)
+        self.clear_cancel_request(record.id)
 
     def cancel(self, job_id_or_prefix: str) -> JobRecord:
-        """Cancel a queued job (atomic queued -> cancelled rename).
+        """Cancel a job: atomic rename for waiting states, a request for running.
 
-        Running jobs cannot be cancelled (the daemon owns them); done and
-        cancelled jobs are already final.  Failed jobs can be cancelled to
-        stop a resubmission from retrying them.
+        Queued and failed jobs flip straight to ``cancelled`` (an atomic
+        rename; failed jobs are cancellable to stop a resubmission from
+        retrying them).  A *running* job is owned by the daemon, so
+        cancelling it drops a durable cancel-request marker instead — the
+        daemon checks it between cells (see
+        :meth:`~repro.service.daemon.ServiceDaemon` and
+        :class:`~repro.errors.SweepAborted`) and finishes the job as
+        ``cancelled``, keeping every cell already persisted.  The returned
+        record still reads ``running`` in that case; callers distinguish
+        the two outcomes by state.  Done and cancelled jobs are final.
         """
         record = self.find(job_id_or_prefix)
         if record.state in (STATE_QUEUED, STATE_FAILED):
@@ -423,10 +509,46 @@ class JobQueue:
             self._transition(source_state, STATE_CANCELLED, record.id, rewritten=True)
             return record
         if record.state == STATE_RUNNING:
-            raise ServiceError(
-                f"job {record.id[:12]} is running and cannot be cancelled"
-            )
+            self.request_cancel(record.id)
+            return record
         raise ServiceError(f"job {record.id[:12]} is already {record.state}")
+
+    # -- running-job cancellation ------------------------------------------------
+
+    def _cancel_request_path(self, job_id: str) -> Path:
+        return self.root / _JOBS_DIR / _CANCEL_DIR / (job_id + _CANCEL_SUFFIX)
+
+    def request_cancel(self, job_id: str) -> None:
+        """Durably ask the daemon to stop the given job between cells."""
+        path = self._cancel_request_path(job_id)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "w", encoding="ascii") as handle:
+                handle.write("")
+        except OSError as exc:
+            raise ServiceError(
+                f"could not record cancel request for {job_id[:12]}: {exc}"
+            ) from exc
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Whether a cancel-request marker exists for the job."""
+        return self._cancel_request_path(job_id).is_file()
+
+    def clear_cancel_request(self, job_id: str) -> None:
+        """Remove the job's cancel-request marker, if any."""
+        try:
+            self._cancel_request_path(job_id).unlink()
+        except OSError:
+            pass
+
+    def cancel_running(self, record: JobRecord) -> None:
+        """Finish a running job as ``cancelled`` (the daemon's side of
+        :meth:`request_cancel`); clears the marker so a later resubmission
+        of the same request starts clean."""
+        record.finished_at = time.time()
+        self._write_record(STATE_CANCELLED, record)
+        self._transition(STATE_RUNNING, STATE_CANCELLED, record.id, rewritten=True)
+        self.clear_cancel_request(record.id)
 
     def recover(self) -> List[JobRecord]:
         """Re-queue every job stranded in ``running`` by a dead daemon.
@@ -487,6 +609,7 @@ def open_service(path: Union[str, os.PathLike], create: bool = True) -> JobQueue
         try:
             for name in JOB_STATES:
                 (root / _JOBS_DIR / name).mkdir(parents=True, exist_ok=True)
+            (root / _JOBS_DIR / _CANCEL_DIR).mkdir(parents=True, exist_ok=True)
             (root / _RESULTS_DIR).mkdir(parents=True, exist_ok=True)
             (root / _EVENTS_DIR).mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -515,6 +638,7 @@ def open_service(path: Union[str, os.PathLike], create: bool = True) -> JobQueue
             )
         for name in JOB_STATES:
             (root / _JOBS_DIR / name).mkdir(parents=True, exist_ok=True)
+        (root / _JOBS_DIR / _CANCEL_DIR).mkdir(parents=True, exist_ok=True)
         (root / _RESULTS_DIR).mkdir(parents=True, exist_ok=True)
         (root / _EVENTS_DIR).mkdir(parents=True, exist_ok=True)
     return JobQueue(root)

@@ -13,7 +13,9 @@ The three acceptance properties under test:
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
 
 import pytest
 
@@ -137,12 +139,30 @@ class TestJobQueue:
         with pytest.raises(ServiceError, match="already done"):
             queue.cancel("b" * 64)
 
-    def test_cancel_running_is_refused(self, tmp_path):
+    def test_cancel_running_records_a_request(self, tmp_path):
+        """Cancelling a running job is deferred, not refused: a durable
+        marker asks the daemon to stop between cells."""
         queue = open_service(tmp_path)
         queue.submit("a" * 64, {})
-        queue.claim()
-        with pytest.raises(ServiceError, match="running"):
-            queue.cancel("a" * 64)
+        record = queue.claim()
+        returned = queue.cancel("a" * 64)
+        assert returned.state == STATE_RUNNING  # still the daemon's job
+        assert queue.cancel_requested("a" * 64)
+        # The daemon's side: finish the job as cancelled and clear the marker.
+        queue.cancel_running(record)
+        assert queue.find("a" * 64).state == STATE_CANCELLED
+        assert not queue.cancel_requested("a" * 64)
+
+    def test_resubmission_clears_stale_cancel_request(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.submit("a" * 64, {})
+        record = queue.claim()
+        queue.cancel("a" * 64)
+        queue.cancel_running(record)
+        requeued, deduped = queue.submit("a" * 64, {})
+        assert not deduped
+        assert requeued.state == STATE_QUEUED
+        assert not queue.cancel_requested("a" * 64)
 
     def test_find_by_prefix_and_ambiguity(self, tmp_path):
         queue = open_service(tmp_path)
@@ -504,3 +524,140 @@ class TestServiceCli:
         assert "tuned" in capsys.readouterr().out
         # Source exclusivity: --job without --service is rejected.
         assert main(["explore", "pareto", "--job", job_id]) == 2
+
+
+class TestRunningJobCancellation:
+    def test_daemon_stops_a_cancelled_job_between_cells(self, tmp_path, trace_file):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True)
+        request = _request(trace_file)
+        job_id = client.submit(request)["job_id"]
+        total_cells = len(request.build_jobs())
+
+        responses = []
+
+        def cancel_after_first_cell(record, index, job, cached):
+            if not responses:
+                responses.append(client.cancel(record.id))
+
+        store = open_store(root / "store")
+        daemon = ServiceDaemon(root, store=store, on_cell=cancel_after_first_cell)
+        # The cancelled job counts as finished work for drain accounting.
+        assert daemon.run(drain=True) == 1
+        assert daemon.jobs_cancelled == 1
+        assert daemon.heartbeat()["jobs_cancelled"] == 1
+
+        record = client.queue.find(job_id)
+        assert record.state == STATE_CANCELLED
+        assert record.cells_done == 1
+        assert f"cancelled after 1/{total_cells} cell(s)" in (record.error or "")
+        # The client's cancel saw a *running* job and recorded a request...
+        assert responses[0]["requested"] is True
+        assert responses[0]["job"]["state"] == STATE_RUNNING
+        # ...which the daemon consumed when it stopped the job.
+        assert not client.queue.cancel_requested(job_id)
+        # The cell that completed before the abort stayed persisted.
+        assert len(store) == 1
+
+    def test_resubmitted_cancelled_job_resumes_from_stored_cells(
+        self, tmp_path, trace_file
+    ):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True)
+        request = _request(trace_file)
+        job_id = client.submit(request)["job_id"]
+
+        def cancel_first(record, index, job, cached):
+            if index == 0:
+                client.cancel(record.id)
+
+        store = open_store(root / "store")
+        ServiceDaemon(root, store=store, on_cell=cancel_first).run(drain=True)
+        assert client.queue.find(job_id).state == STATE_CANCELLED
+
+        # An explicit resubmission is a retry: the job requeues and the
+        # second serve pays only for the cells the abort left unfinished.
+        response = client.submit(request)
+        assert response["job_id"] == job_id
+        assert client.queue.find(job_id).state == STATE_QUEUED
+        assert ServiceDaemon(root, store=store).run(drain=True) == 1
+        record = client.queue.find(job_id)
+        assert record.state == STATE_DONE
+        assert record.cells_cached == 1
+        served = client.result_text(job_id)
+        direct = run_sweep(
+            load_trace_file(trace_file), request.build_jobs()
+        ).merged().to_json()
+        assert served == direct
+
+    def test_cancel_of_queued_job_still_flips_immediately(self, tmp_path, trace_file):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True)
+        job_id = client.submit(_request(trace_file))["job_id"]
+        response = client.cancel(job_id)
+        assert response["requested"] is False
+        assert response["job"]["state"] == STATE_CANCELLED
+
+
+class TestSubmitEventPruning:
+    @staticmethod
+    def _age_events(root, seconds=7200):
+        stale = time.time() - seconds
+        for path in (root / "events").glob("*.submit"):
+            os.utime(path, (stale, stale))
+
+    def test_prune_preserves_the_all_time_submission_count(
+        self, tmp_path, trace_file
+    ):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True)
+        request = _request(trace_file)
+        client.submit(request)
+        client.submit(request)  # coalesced duplicate still counts as an event
+        assert client.queue.submissions() == 2
+        self._age_events(root)
+        assert client.queue.prune_events(retain_seconds=3600.0) == 2
+        assert list((root / "events").glob("*.submit")) == []
+        # Dedup accounting survives via the archived count...
+        assert client.queue.submissions() == 2
+        stats = client.stats()
+        assert stats["submissions"] == 2
+        assert stats["coalesced_submissions"] == 1
+        # ...and fresh submissions stack on top of it.
+        client.submit(request)
+        assert client.queue.submissions() == 3
+        assert client.queue.prune_events(retain_seconds=3600.0) == 0
+
+    def test_recent_events_survive_the_retain_window(self, tmp_path, trace_file):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True)
+        client.submit(_request(trace_file))
+        assert client.queue.prune_events() == 0
+        assert client.queue.submissions() == 1
+
+    def test_daemon_startup_prunes_stale_events(self, tmp_path, trace_file):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True)
+        client.submit(_request(trace_file))
+        self._age_events(root)
+        daemon = ServiceDaemon(
+            root, store=open_store(root / "store"), event_retain_seconds=3600.0
+        )
+        assert daemon.run(drain=True) == 1
+        assert list((root / "events").glob("*.submit")) == []
+        assert client.stats()["submissions"] == 1
+
+    def test_queue_stats_prune_flag(self, tmp_path, trace_file, capsys):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True)
+        client.submit(_request(trace_file))
+        self._age_events(root)
+        code = main([
+            "queue", "stats", str(root),
+            "--prune-events", "--retain-seconds", "3600",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "pruned 1 submit event(s)" in captured.err
+        assert "1 submission(s)" in captured.out or "submissions" in captured.out
+        assert list((root / "events").glob("*.submit")) == []
