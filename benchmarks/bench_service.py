@@ -30,3 +30,26 @@ def test_service_throughput_dedups_and_serves_identically(pr5_report):
     assert report["byte_identical_to_direct"] is True
     assert report["latency_p95_seconds"] >= report["latency_p50_seconds"] > 0
     pr5_report.update(report)
+
+
+def test_fleet_scales_and_socket_beats_polling(pr7_report):
+    from repro.bench.service import run_fleet_benchmark
+
+    report = run_fleet_benchmark()
+    # Throughput must rise with every daemon added: the durable-I/O half of
+    # each job overlaps across daemon processes even on one core.
+    rates = [
+        entry["jobs_per_second"]
+        for entry in report["saturation"]["configurations"]
+    ]
+    assert report["saturation"]["jobs_per_second_monotonic"], rates
+    # The socket transport removes the polling floor from submit-to-done.
+    assert report["transport"]["socket_faster"], report["transport"]
+    # Killing one of two daemons mid-run must not lose or bend anything:
+    # the survivor reclaims the victim's leased jobs and finishes the set.
+    assert report["failover"]["byte_identical_to_direct"] is True
+    # Byte-identity holds in every fleet size and over both transports.
+    for entry in report["saturation"]["configurations"]:
+        assert entry["byte_identical_to_direct"] is True
+    assert report["transport"]["byte_identical_to_direct"] is True
+    pr7_report.update(report)

@@ -77,6 +77,24 @@ def pr6_report():
 
 
 @pytest.fixture(scope="session")
+def pr7_report():
+    """Collector for the multi-daemon fleet benchmark's measurements.
+
+    Written as ``BENCH_PR7.json`` (path overridable via ``REPRO_BENCH_PR7``)
+    at session end: jobs/sec vs daemon count on the saturation workload,
+    socket-vs-polling submit-to-done latency, and the SIGKILL-failover
+    outcome — the horizontal-scaling counterpart to BENCH_PR5/6.
+    """
+    data = {}
+    yield data
+    if data:
+        path = os.environ.get("REPRO_BENCH_PR7", "BENCH_PR7.json")
+        with open(path, "w", encoding="ascii") as handle:
+            json.dump(dict(sorted(data.items())), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+@pytest.fixture(scope="session")
 def experiment_runner() -> ExperimentRunner:
     """The paper's evaluation grid at a Python-tractable trace length."""
     return ExperimentRunner(

@@ -18,12 +18,20 @@ exploration is: every client asks for a handful of grid variants drawn from
 a small pool, so most submissions collide with earlier ones.  Correctness
 is asserted, not assumed — every served payload must be byte-identical to
 the same request's direct :func:`~repro.engine.sweep.run_sweep` execution.
+
+:func:`run_fleet_benchmark` is the multi-daemon counterpart: real ``serve``
+subprocesses sharing one service directory, saturated with cell-disjoint
+jobs to measure throughput vs daemon count, a socket-vs-polling transport
+latency race, and a SIGKILL-one-daemon failover run — with the same
+byte-identity verification in every configuration.
 """
 
 from __future__ import annotations
 
 import os
 import statistics
+import subprocess
+import sys
 import tempfile
 import threading
 import time
@@ -89,7 +97,9 @@ def run_service_benchmark(
         pool = _default_request_pool(trace_path)
         loaded = load_trace_file(trace_path)
 
-        daemon = ServiceDaemon(service_root, poll_interval=0.005)
+        # The PR5 benchmark measures the polling transport; the socket front
+        # end is exercised (and compared) by run_fleet_benchmark below.
+        daemon = ServiceDaemon(service_root, poll_interval=0.005, socket=False)
         daemon_thread = threading.Thread(
             target=daemon.run, kwargs={"drain": False}, daemon=True
         )
@@ -100,7 +110,7 @@ def run_service_benchmark(
 
         def run_client(client_index: int) -> None:
             try:
-                client = ServiceClient(service_root)
+                client = ServiceClient(service_root, transport="files")
                 for submission in range(submissions_per_client):
                     request = pool[(client_index + submission) % len(pool)]
                     begin = time.perf_counter()
@@ -129,7 +139,7 @@ def run_service_benchmark(
         if client_errors:
             raise ReproError(f"benchmark client failed: {client_errors[0]}")
 
-        client = ServiceClient(service_root)
+        client = ServiceClient(service_root, transport="files")
         stats = client.stats()
         identical = None
         if verify_identity:
@@ -160,3 +170,332 @@ def run_service_benchmark(
             "wall_seconds": round(wall_seconds, 6),
             "byte_identical_to_direct": identical,
         }
+
+
+# -- fleet benchmark (PR 7) ---------------------------------------------------
+
+
+def _saturation_requests(trace_path: str, jobs: int) -> List[SweepRequest]:
+    """``jobs`` small, pairwise cell-disjoint sweep requests.
+
+    Every request pins one (block size, associativity, policy) point over
+    the same set-size ladder, so no two jobs share a store cell: the fleet
+    must *execute* every job, which is what makes jobs/sec a throughput
+    number rather than a cache-hit number.
+    """
+    requests = []
+    for block in (4, 8, 16, 32, 64, 128):
+        for assoc in (1, 2, 4, 8):
+            for policy in ("fifo", "lru"):
+                requests.append(
+                    SweepRequest(
+                        trace_path,
+                        block_sizes=(block,),
+                        associativities=(assoc,),
+                        max_sets=64,
+                        policies=(policy,),
+                    )
+                )
+    if jobs > len(requests):
+        raise ReproError(
+            f"saturation workload supports at most {len(requests)} jobs"
+        )
+    return requests[:jobs]
+
+
+def _latency_requests(trace_path: str) -> List[SweepRequest]:
+    """Tiny single-point jobs for transport-latency sampling (disjoint)."""
+    return [
+        SweepRequest(
+            trace_path,
+            block_sizes=(block,),
+            associativities=(assoc,),
+            max_sets=16,
+            policies=("plru",),
+        )
+        for block in (4, 8, 16, 32, 64, 128)
+        for assoc in (1, 2, 4, 8)
+    ]
+
+
+def _spawn_daemons(
+    service_root: str,
+    count: int,
+    lease_seconds: float,
+    env: Dict[str, str],
+    prefix: str,
+) -> List["subprocess.Popen"]:
+    """Start ``count`` serve subprocesses against one service directory."""
+    processes = []
+    for index in range(count):
+        processes.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "serve",
+                    service_root,
+                    "--daemon-id",
+                    f"{prefix}{index}",
+                    "--poll",
+                    "0.002",
+                    "--lease",
+                    str(lease_seconds),
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+        )
+    return processes
+
+
+def _stop_daemons(processes: List["subprocess.Popen"]) -> None:
+    for process in processes:
+        if process.poll() is None:
+            process.terminate()
+    for process in processes:
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+            process.kill()
+            process.wait(timeout=15)
+
+
+def _await_live_daemons(
+    queue, expected: int, lease_seconds: float, timeout: float
+) -> None:
+    """Block until ``expected`` daemons heartbeat as alive (steady state).
+
+    Measuring from here is what makes the scaling curve honest: interpreter
+    startup (~hundreds of ms per process) would otherwise dominate the
+    short saturation run and make throughput *decrease* with daemon count.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if len(queue.live_daemons(lease_seconds=lease_seconds)) >= expected:
+            return
+        time.sleep(0.05)
+    raise ReproError(
+        f"only {len(queue.live_daemons(lease_seconds=lease_seconds))} of "
+        f"{expected} daemons heartbeat within {timeout:g}s"
+    )
+
+
+def _await_drained(queue, total: int, timeout: float) -> float:
+    """Block until ``total`` jobs are finished; returns the wall moment."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        counts = queue.counts()
+        finished = counts["done"] + counts["failed"] + counts["cancelled"]
+        if finished >= total:
+            if counts["failed"] or counts["cancelled"]:
+                raise ReproError(
+                    f"fleet run finished with {counts['failed']} failed / "
+                    f"{counts['cancelled']} cancelled job(s)"
+                )
+            return time.perf_counter()
+        time.sleep(0.02)
+    raise ReproError(f"fleet did not drain {total} jobs within {timeout:g}s")
+
+
+def _bench_environment() -> Dict[str, str]:
+    """Subprocess environment with this package's source tree importable."""
+    import repro
+
+    source_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = source_root + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_fleet_benchmark(
+    daemon_counts: Sequence[int] = (1, 2, 4),
+    jobs: int = 48,
+    latency_jobs_per_transport: int = 12,
+    trace_length: int = 4000,
+    seed: int = 2010,
+    lease_seconds: float = 2.0,
+    repeats: int = 3,
+    timeout: float = 180.0,
+    failover: bool = True,
+) -> Dict[str, Any]:
+    """Saturate a 1/2/4-daemon fleet and race the two client transports.
+
+    Three measurements, all against real ``serve`` subprocesses sharing one
+    service directory per configuration:
+
+    * **Saturation throughput** — ``jobs`` cell-disjoint sweeps submitted
+      at once into a pre-started, heartbeat-confirmed fleet; jobs/sec is
+      measured from first submit to fully drained, best of ``repeats``
+      fresh-directory runs.  Per-job work is substantially durable-I/O
+      (record rewrites, store persists, fsyncs), which is what overlaps
+      across daemon processes even on a single core.
+    * **Transport latency** — submit-to-done p50/p95 for tiny jobs over
+      the polling-file client vs the same daemon's socket client.
+    * **Failover** — with two daemons mid-saturation, one is SIGKILLed;
+      the survivor must reclaim its leased jobs and finish the run.
+
+    Every configuration's served payloads are verified byte-identical to
+    direct :func:`~repro.engine.sweep.run_sweep` executions of the same
+    requests, computed once up front.
+    """
+    env = _bench_environment()
+    with tempfile.TemporaryDirectory() as scratch:
+        trace_path = os.path.join(scratch, "fleet-trace.csv")
+        trace = WorkingSetGenerator(hot_bytes=4096, cold_bytes=1 << 16).generate(
+            trace_length, seed=seed
+        )
+        write_text_trace(trace, trace_path, fmt="csv")
+        loaded = load_trace_file(trace_path)
+        fingerprint = loaded.fingerprint()
+        requests = _saturation_requests(trace_path, jobs)
+        direct = {
+            request.canonical_job_id(fingerprint): run_sweep(
+                loaded, request.build_jobs()
+            )
+            .merged()
+            .to_json()
+            for request in requests
+        }
+
+        def run_config(count: int, tag: str) -> Dict[str, Any]:
+            service_root = os.path.join(scratch, f"svc-{tag}")
+            client = ServiceClient(service_root, create=True, transport="files")
+            processes = _spawn_daemons(
+                service_root, count, lease_seconds, env, prefix=f"{tag}-d"
+            )
+            try:
+                _await_live_daemons(client.queue, count, lease_seconds, timeout=30.0)
+                begin = time.perf_counter()
+                for request in requests:
+                    client.submit(request, trace=loaded)
+                end = _await_drained(client.queue, len(requests), timeout)
+            finally:
+                _stop_daemons(processes)
+            identical = all(
+                client.result_text(job_id) == payload
+                for job_id, payload in direct.items()
+            )
+            wall = end - begin
+            return {
+                "daemons": count,
+                "jobs": len(requests),
+                "wall_seconds": round(wall, 6),
+                "jobs_per_second": round(len(requests) / wall, 3),
+                "byte_identical_to_direct": identical,
+            }
+
+        saturation = []
+        for count in daemon_counts:
+            runs = [
+                run_config(count, f"sat{count}r{attempt}")
+                for attempt in range(max(int(repeats), 1))
+            ]
+            best = max(runs, key=lambda run: run["jobs_per_second"])
+            best["runs"] = [run["jobs_per_second"] for run in runs]
+            best["byte_identical_to_direct"] = all(
+                run["byte_identical_to_direct"] for run in runs
+            )
+            saturation.append(best)
+        rates = [entry["jobs_per_second"] for entry in saturation]
+        monotonic = all(later > earlier for earlier, later in zip(rates, rates[1:]))
+
+        # -- transport latency: one daemon, polling client vs socket client --
+        latency_root = os.path.join(scratch, "svc-latency")
+        files_client = ServiceClient(latency_root, create=True, transport="files")
+        tiny = _latency_requests(trace_path)
+        if 2 * latency_jobs_per_transport > len(tiny):
+            raise ReproError(
+                f"latency phase supports at most {len(tiny) // 2} jobs per transport"
+            )
+        transport_report: Dict[str, Any] = {}
+        processes = _spawn_daemons(
+            latency_root, 1, lease_seconds, env, prefix="lat-d"
+        )
+        try:
+            _await_live_daemons(files_client.queue, 1, lease_seconds, timeout=30.0)
+            socket_client = ServiceClient(latency_root, transport="socket")
+            try:
+                for name, transport_client, batch in (
+                    ("polling", files_client, tiny[:latency_jobs_per_transport]),
+                    (
+                        "socket",
+                        socket_client,
+                        tiny[latency_jobs_per_transport : 2 * latency_jobs_per_transport],
+                    ),
+                ):
+                    samples = []
+                    for request in batch:
+                        begin = time.perf_counter()
+                        response = transport_client.submit(request, trace=loaded)
+                        transport_client.wait(response["job_id"], timeout=timeout)
+                        samples.append(time.perf_counter() - begin)
+                    transport_report[name] = {
+                        "jobs": len(batch),
+                        "p50_seconds": round(_percentile(samples, 0.50), 6),
+                        "p95_seconds": round(_percentile(samples, 0.95), 6),
+                        "mean_seconds": round(statistics.fmean(samples), 6),
+                    }
+                identical = all(
+                    files_client.result_text(
+                        request.canonical_job_id(fingerprint)
+                    )
+                    == run_sweep(loaded, request.build_jobs()).merged().to_json()
+                    for request in tiny[: 2 * latency_jobs_per_transport]
+                )
+                transport_report["byte_identical_to_direct"] = identical
+            finally:
+                socket_client.close()
+        finally:
+            _stop_daemons(processes)
+        transport_report["socket_faster"] = (
+            transport_report["socket"]["p50_seconds"]
+            < transport_report["polling"]["p50_seconds"]
+        )
+
+        report: Dict[str, Any] = {
+            "saturation": {
+                "configurations": saturation,
+                "jobs_per_second_monotonic": monotonic,
+            },
+            "transport": transport_report,
+        }
+
+        # -- failover: SIGKILL one of two daemons mid-saturation --------------
+        if failover:
+            failover_root = os.path.join(scratch, "svc-failover")
+            client = ServiceClient(failover_root, create=True, transport="files")
+            processes = _spawn_daemons(
+                failover_root, 2, lease_seconds, env, prefix="kill-d"
+            )
+            try:
+                _await_live_daemons(client.queue, 2, lease_seconds, timeout=30.0)
+                for request in requests:
+                    client.submit(request, trace=loaded)
+                kill_after = len(requests) // 4
+                deadline = time.monotonic() + timeout
+                while time.monotonic() < deadline:
+                    if client.queue.counts()["done"] >= kill_after:
+                        break
+                    time.sleep(0.01)
+                victim = processes[0]
+                victim.kill()
+                victim.wait(timeout=15)  # reap: the pid probe must see it gone
+                killed_at_done = client.queue.counts()["done"]
+                _await_drained(client.queue, len(requests), timeout)
+            finally:
+                _stop_daemons(processes)
+            identical = all(
+                client.result_text(job_id) == payload
+                for job_id, payload in direct.items()
+            )
+            report["failover"] = {
+                "daemons": 2,
+                "jobs": len(requests),
+                "done_when_killed": killed_at_done,
+                "byte_identical_to_direct": identical,
+            }
+
+        return report

@@ -32,17 +32,22 @@ Installed as ``repro-dew``.  Subcommands:
     fingerprints) and ``store export`` / ``store import`` (manifest-based,
     rsync-able cross-machine sharing).
 ``serve``
-    Run the simulation service daemon over a service directory: drains the
+    Run a simulation service daemon over a service directory: drains the
     durable job queue through the fused sweep executor, coalescing
-    duplicate and already-stored work.
+    duplicate and already-stored work.  Any number of ``serve`` processes
+    may share one directory (``--daemon-id``, heartbeat-leased claims);
+    each serves a Unix-domain socket unless ``--no-socket``.
 ``submit`` / ``status`` / ``result`` / ``cancel``
-    Client commands against a service directory (polling-file transport).
-    ``submit`` enqueues a sweep grid (idempotent per canonical identity;
-    ``--wait`` polls to completion), ``result`` prints a completed job's
-    payload — byte-identical to a direct ``sweep --format json`` run.
+    Client commands against a service directory.  The transport is the
+    polling files, upgraded automatically to a live daemon's socket
+    (``--transport`` pins either path).  ``submit`` enqueues a sweep grid
+    (idempotent per canonical identity; ``--wait`` blocks to completion),
+    ``result`` prints a completed job's payload — byte-identical to a
+    direct ``sweep --format json`` run.
 ``queue``
-    Inspect a service: ``queue ls`` (jobs per state) and ``queue stats``
-    (counts, dedup ratio, daemon heartbeat).
+    Inspect and maintain a service: ``queue ls`` (jobs per state),
+    ``queue stats`` (counts, dedup ratio, per-daemon fleet liveness) and
+    ``queue gc`` (evict finished job records past a retention window).
 ``reproduce``
     Regenerate the paper's tables and figures (scaled-down traces).
 
@@ -78,7 +83,12 @@ from repro.errors import (
 from repro.explore import CacheTuner, EnergyModel, TuningConstraints, pareto_front_frame
 from repro.service import ServiceClient, ServiceDaemon, SweepRequest
 from repro.service.api import doubling_set_sizes
-from repro.service.queue import JOB_STATES
+from repro.service.queue import (
+    DEFAULT_JOB_RETAIN_SECONDS,
+    DEFAULT_LEASE_SECONDS,
+    JOB_STATES,
+    open_service,
+)
 from repro.store import open_store
 from repro.store.manage import (
     DEFAULT_MANIFEST_NAME,
@@ -459,10 +469,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sweep_workers=args.sweep_workers,
         shm=_shm_mode(args),
         poll_interval=args.poll,
+        daemon_id=args.daemon_id,
+        lease_seconds=args.lease,
+        socket=args.socket,
+        job_retain_seconds=args.job_retain_seconds,
     )
     print(
-        f"serving {args.service_dir} "
-        f"(store: {daemon.store.root}, {daemon.workers} worker(s))",
+        f"serving {args.service_dir} as {daemon.daemon_id} "
+        f"(store: {daemon.store.root}, {daemon.workers} worker(s), "
+        f"socket {'on' if daemon.socket_enabled else 'off'})",
         file=sys.stderr,
     )
     try:
@@ -489,7 +504,7 @@ def _submit_request(args: argparse.Namespace) -> SweepRequest:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    client = ServiceClient(args.service_dir, create=True)
+    client = ServiceClient(args.service_dir, create=True, transport=args.transport)
     response = client.submit(_submit_request(args), priority=args.priority)
     if args.wait:
         record = client.wait(response["job_id"], timeout=args.timeout)
@@ -509,7 +524,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
-    response = ServiceClient(args.service_dir).status(args.job)
+    response = ServiceClient(args.service_dir, transport=args.transport).status(args.job)
     if args.format == "json":
         print(json.dumps(response, indent=2))
         return 0
@@ -526,7 +541,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_result(args: argparse.Namespace) -> int:
-    client = ServiceClient(args.service_dir)
+    client = ServiceClient(args.service_dir, transport=args.transport)
     payload = client.result_text(args.job)
     if args.format == "json":
         # The stored payload verbatim: byte-identical to what a direct
@@ -540,7 +555,7 @@ def _cmd_result(args: argparse.Namespace) -> int:
 
 
 def _cmd_cancel(args: argparse.Namespace) -> int:
-    response = ServiceClient(args.service_dir).cancel(args.job)
+    response = ServiceClient(args.service_dir, transport=args.transport).cancel(args.job)
     if args.format == "json":
         print(json.dumps(response, indent=2))
     elif response.get("requested"):
@@ -554,7 +569,7 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
 
 
 def _cmd_queue_ls(args: argparse.Namespace) -> int:
-    client = ServiceClient(args.service_dir)
+    client = ServiceClient(args.service_dir, transport="files")
     jobs = client.jobs(state=args.state)
     if args.format == "json":
         print(json.dumps(jobs, indent=2))
@@ -570,7 +585,7 @@ def _cmd_queue_ls(args: argparse.Namespace) -> int:
 
 
 def _cmd_queue_stats(args: argparse.Namespace) -> int:
-    client = ServiceClient(args.service_dir)
+    client = ServiceClient(args.service_dir, transport=args.transport)
     if args.prune_events:
         pruned = client.prune_events(retain_seconds=args.retain_seconds)
         print(f"pruned {pruned} submit event(s)", file=sys.stderr)
@@ -596,6 +611,44 @@ def _cmd_queue_stats(args: argparse.Namespace) -> int:
         )
     else:
         print("daemon: no heartbeat")
+    daemons = response.get("daemons") or {}
+    if daemons:
+        print(f"fleet: {response.get('live_daemons', 0)}/{len(daemons)} daemon(s) live")
+        for daemon_id, entry in sorted(daemons.items()):
+            line = (
+                f"  {daemon_id}: {'live' if entry.get('alive') else 'dead'}, "
+                f"pid {entry.get('pid')}, {entry.get('jobs_done', 0)} done, "
+                f"{entry.get('jobs_failed', 0)} failed, "
+                f"socket {'yes' if entry.get('socket') else 'no'}"
+            )
+            if entry.get("heartbeat_errors"):
+                line += f", {entry['heartbeat_errors']} heartbeat error(s)"
+            if entry.get("note"):
+                line += f" ({entry['note']})"
+            print(line)
+    return 0
+
+
+def _cmd_queue_gc(args: argparse.Namespace) -> int:
+    queue = open_service(args.service_dir, create=False)
+    report = queue.gc(retain_seconds=args.retain_seconds, dry_run=args.dry_run)
+    if args.format == "json":
+        print(json.dumps({"ok": True, "type": "gc", "dry_run": args.dry_run, **report},
+                         indent=2))
+        return 0
+    evicted = sum(
+        count for state, count in report.items()
+        if state not in ("results", "bytes", "kept")
+    )
+    verb = "would evict" if args.dry_run else "evicted"
+    per_state = ", ".join(
+        f"{report[state]} {state}" for state in ("done", "failed", "cancelled")
+    )
+    print(
+        f"{verb} {evicted} job record(s) ({per_state}), "
+        f"{report['results']} result payload(s), {report['bytes']:,} bytes; "
+        f"kept {report['kept']} within {args.retain_seconds:g}s retention"
+    )
     return 0
 
 
@@ -818,6 +871,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit once the queue is empty (batch mode)")
     serve.add_argument("--max-jobs", type=int, default=None, metavar="N",
                        help="exit after finishing N jobs")
+    serve.add_argument("--daemon-id", default=None, metavar="ID",
+                       help="fleet identity of this daemon (heartbeat and "
+                            "socket file names; default: <host>-<pid>)")
+    serve.add_argument("--lease", type=float, default=DEFAULT_LEASE_SECONDS,
+                       metavar="SECONDS",
+                       help="claim lease length; a daemon whose heartbeat "
+                            "goes stale this long forfeits its running jobs")
+    serve.add_argument("--socket", dest="socket", action="store_true",
+                       default=True,
+                       help="serve the Unix-domain-socket front end (default)")
+    serve.add_argument("--no-socket", dest="socket", action="store_false",
+                       help="polling-file transport only")
+    serve.add_argument("--job-retain-seconds", type=float,
+                       default=DEFAULT_JOB_RETAIN_SECONDS, metavar="SECONDS",
+                       help="startup 'queue gc' retention window for "
+                            "finished job records (default: 7 days)")
     serve.set_defaults(func=_cmd_serve)
 
     def add_service_client_arguments(sub: argparse.ArgumentParser, with_job: bool) -> None:
@@ -826,6 +895,11 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("job", help="job id or unique prefix (see 'queue ls')")
         sub.add_argument("--format", choices=("text", "json"), default="text",
                          help="output format")
+        sub.add_argument("--transport", choices=("auto", "files", "socket"),
+                         default="auto",
+                         help="auto (default) uses a live daemon's socket and "
+                              "falls back to polling files; files/socket pin "
+                              "one path")
 
     submit = subparsers.add_parser(
         "submit",
@@ -851,6 +925,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --wait: give up after this long")
     submit.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format")
+    submit.add_argument("--transport", choices=("auto", "files", "socket"),
+                        default="auto",
+                        help="auto (default) uses a live daemon's socket and "
+                             "falls back to polling files; files/socket pin "
+                             "one path")
     submit.set_defaults(func=_cmd_submit)
 
     status = subparsers.add_parser("status", help="show one service job's state and progress")
@@ -893,6 +972,21 @@ def build_parser() -> argparse.ArgumentParser:
                              help="retain window for --prune-events "
                                   "(default: one day)")
     queue_stats.set_defaults(func=_cmd_queue_stats)
+
+    queue_gc = queue_sub.add_parser(
+        "gc",
+        help="evict finished/failed/cancelled job records (and their result "
+             "payloads) older than the retention window")
+    queue_gc.add_argument("service_dir", help="service directory")
+    queue_gc.add_argument("--retain-seconds", type=float,
+                          default=DEFAULT_JOB_RETAIN_SECONDS, metavar="SECONDS",
+                          help="keep finished jobs younger than this "
+                               "(default: 7 days)")
+    queue_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be evicted without deleting")
+    queue_gc.add_argument("--format", choices=("text", "json"), default="text",
+                          help="output format")
+    queue_gc.set_defaults(func=_cmd_queue_gc)
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's tables and figures")
     reproduce.add_argument("--requests", type=int, default=None,

@@ -12,13 +12,20 @@ the payload of :func:`repro.engine.sweep.run_sweep` executed directly.
     content identity the result store uses.
 ``api``
     The JSON wire schema and :class:`ServiceClient` — submit / status /
-    result / cancel / stats over the polling-file transport (clients and
-    daemon share a service directory; no sockets, no dependencies).
+    result / cancel / stats over the polling-file transport, transparently
+    upgraded to a daemon's Unix-domain socket when one is live (clients
+    and daemons share a service directory either way).
 ``daemon``
     :class:`ServiceDaemon`, the scheduler draining the queue through the
     fused sweep executor with a bounded worker pool, coalescing work that
     is already stored or already in flight, and recording per-job
-    timings and per-cell progress durably.
+    timings and per-cell progress durably.  Any number of daemons may
+    drain one service directory: claims carry heartbeat-renewed leases,
+    recovery re-queues only provably-dead owners' jobs, and in-flight
+    marks are shared on disk.
+``socketserver``
+    The per-daemon Unix-domain-socket front end and its client transport:
+    the same JSON envelopes as the polling path, minus the polling floor.
 """
 
 from repro.service.api import (
@@ -27,17 +34,27 @@ from repro.service.api import (
     SweepRequest,
     error_response,
     ok_response,
+    service_stats,
 )
-from repro.service.daemon import ServiceDaemon
+from repro.service.daemon import ServiceDaemon, default_daemon_id
 from repro.service.queue import (
+    DEFAULT_JOB_RETAIN_SECONDS,
+    DEFAULT_LEASE_SECONDS,
     JOB_STATES,
     SERVICE_SCHEMA_VERSION,
     JobQueue,
     JobRecord,
     open_service,
 )
+from repro.service.socketserver import (
+    ServiceSocketServer,
+    SocketTransport,
+    discover_socket,
+)
 
 __all__ = [
+    "DEFAULT_JOB_RETAIN_SECONDS",
+    "DEFAULT_LEASE_SECONDS",
     "JOB_STATES",
     "SERVICE_SCHEMA_VERSION",
     "SERVICE_WIRE_VERSION",
@@ -45,8 +62,13 @@ __all__ = [
     "JobRecord",
     "ServiceClient",
     "ServiceDaemon",
+    "ServiceSocketServer",
+    "SocketTransport",
     "SweepRequest",
+    "default_daemon_id",
+    "discover_socket",
     "error_response",
     "ok_response",
     "open_service",
+    "service_stats",
 ]

@@ -1,10 +1,19 @@
-"""JSON wire schema and the polling-file :class:`ServiceClient`.
+"""JSON wire schema and the :class:`ServiceClient` (files + socket paths).
 
-The transport is *shared files*: clients and daemon operate on one service
-directory (the :class:`~repro.service.queue.JobQueue` layout), so a submit
-is an atomic enqueue, status is a record read, and waiting is polling — no
-sockets, no extra dependencies, and every operation works whether or not a
-daemon is currently alive (jobs queue up and are drained when one starts).
+The baseline transport is *shared files*: clients and daemons operate on
+one service directory (the :class:`~repro.service.queue.JobQueue` layout),
+so a submit is an atomic enqueue, status is a record read, and waiting is
+polling — no sockets, no extra dependencies, and every operation works
+whether or not a daemon is currently alive (jobs queue up and are drained
+when one starts).
+
+When a daemon *is* alive, the client transparently upgrades to its
+Unix-domain socket (see :mod:`repro.service.socketserver`): the same
+operations become single round trips carrying the same JSON envelopes, and
+``wait`` is woken by the daemon on completion instead of paying the polling
+interval as a latency floor.  Transport choice is per-client
+(``transport="auto" | "files" | "socket"``); ``auto`` falls back to files
+on any socket failure, so the socket is purely an accelerator.
 
 Every client operation has a JSON request/response shape so the CLI's
 ``--format json`` output is machine-consumable and stable:
@@ -32,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -41,13 +51,16 @@ from repro.engine.sweep import SweepJob, build_grid_jobs
 from repro.errors import ServiceError
 from repro.service.queue import (
     DEFAULT_EVENT_RETAIN_SECONDS,
+    DEFAULT_LEASE_SECONDS,
     STATE_DONE,
     STATE_FAILED,
     STATE_RUNNING,
     TERMINAL_STATES,
+    JobQueue,
     JobRecord,
     open_service,
 )
+from repro.service.socketserver import SocketTransport, discover_socket
 from repro.trace.files import load_trace_file
 from repro.trace.trace import Trace
 
@@ -180,17 +193,152 @@ def record_to_wire(record: JobRecord) -> Dict[str, Any]:
     return record.to_dict()
 
 
-class ServiceClient:
-    """Client surface over one service directory (the polling transport).
+def _heartbeat_updated_at(payload: Dict[str, Any]) -> float:
+    try:
+        return float(payload.get("updated_at", 0.0) or 0.0)
+    except (TypeError, ValueError):
+        return 0.0
 
-    All operations are plain file reads/writes against the shared
-    :class:`~repro.service.queue.JobQueue`, so they are valid with or
-    without a live daemon; :meth:`wait` polls until the job reaches a
-    terminal state.
+
+def service_stats(
+    queue: JobQueue, lease_seconds: float = DEFAULT_LEASE_SECONDS
+) -> Dict[str, Any]:
+    """The fleet-aware ``stats`` response for one service directory.
+
+    Shared by the polling client and the socket server so both transports
+    report identical shapes.  ``daemons`` maps every daemon id that ever
+    heartbeat to its last payload plus an ``alive`` judgement (fresh
+    heartbeat, and on this host a live pid); ``daemon`` keeps the pre-fleet
+    single-heartbeat field — the most recent heartbeat, falling back to the
+    legacy ``daemon.json`` single-daemon file — so existing consumers keep
+    working.
+    """
+    counts = queue.counts()
+    submissions = queue.submissions()
+    distinct = sum(counts.values())
+    now = time.time()
+    daemons: Dict[str, Dict[str, Any]] = {}
+    for daemon_id, payload in sorted(queue.daemon_heartbeats().items()):
+        entry = dict(payload)
+        entry["alive"] = JobQueue._heartbeat_alive(payload, lease_seconds, now)
+        daemons[daemon_id] = entry
+    daemon: Optional[Dict[str, Any]] = None
+    if daemons:
+        daemon = max(daemons.values(), key=_heartbeat_updated_at)
+    else:
+        legacy_path = queue.root / "daemon.json"
+        if legacy_path.is_file():
+            try:
+                daemon = json.loads(legacy_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                daemon = None
+    return ok_response(
+        "stats",
+        queue=counts,
+        submissions=submissions,
+        distinct_jobs=distinct,
+        coalesced_submissions=max(submissions - distinct, 0),
+        dedup_ratio=(
+            round(max(submissions - distinct, 0) / submissions, 6)
+            if submissions
+            else 0.0
+        ),
+        daemon=daemon,
+        daemons=daemons,
+        live_daemons=sum(1 for entry in daemons.values() if entry.get("alive")),
+    )
+
+
+class ServiceClient:
+    """Client surface over one service directory (files and/or socket).
+
+    The file path is always valid: operations are plain reads/writes
+    against the shared :class:`~repro.service.queue.JobQueue`, with or
+    without a live daemon.  With ``transport="auto"`` (the default) the
+    client additionally looks for a live daemon socket on first use and
+    routes operations through it — one round trip instead of several
+    ``stat``/read calls, and :meth:`wait` without a polling floor — falling
+    back to files the moment the socket misbehaves.  ``transport="files"``
+    never touches sockets (the PR 5 behaviour, and what benchmarks use to
+    measure the polling path); ``transport="socket"`` makes socket failures
+    hard errors instead of silent fallbacks.
     """
 
-    def __init__(self, root: Union[str, os.PathLike], create: bool = False) -> None:
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        create: bool = False,
+        transport: str = "auto",
+    ) -> None:
+        if transport not in ("auto", "files", "socket"):
+            raise ServiceError(
+                f"unknown transport {transport!r} (expected auto, files or socket)"
+            )
         self.queue = open_service(root, create=create)
+        self.transport = transport
+        self._socket: Optional[SocketTransport] = None
+        self._socket_missing = False
+
+    # -- socket plumbing ---------------------------------------------------------
+
+    @property
+    def using_socket(self) -> bool:
+        """Whether a daemon socket is currently connected."""
+        return self._socket is not None
+
+    def close(self) -> None:
+        """Drop the socket connection, if any (the file path needs no close)."""
+        socket_transport, self._socket = self._socket, None
+        if socket_transport is not None:
+            socket_transport.close()
+
+    def _socket_transport(self, rediscover: bool = False) -> Optional[SocketTransport]:
+        if self.transport == "files":
+            return None
+        if self._socket is not None:
+            return self._socket
+        if self._socket_missing and not rediscover and self.transport == "auto":
+            return None  # no daemon was listening; stay on files until asked
+        self._socket = discover_socket(self.queue)
+        self._socket_missing = self._socket is None
+        if self._socket is None and self.transport == "socket":
+            raise ServiceError(
+                f"no live daemon socket under {self.queue.sockets_dir()}"
+            )
+        return self._socket
+
+    def _socket_request(
+        self, payload: Dict[str, Any], timeout: float = 30.0
+    ) -> Optional[Dict[str, Any]]:
+        """One socket round trip, or ``None`` when the file path should serve.
+
+        A connection that dies mid-request gets one rediscovery (another
+        fleet daemon may be listening); after that, ``auto`` clients fall
+        back to files and ``socket`` clients raise.
+        """
+        payload = dict(payload)
+        payload["wire"] = SERVICE_WIRE_VERSION
+        for attempt in (False, True):
+            transport = self._socket_transport(rediscover=attempt)
+            if transport is None:
+                return None
+            try:
+                return transport.request(payload, timeout=timeout)
+            except (OSError, ValueError) as exc:
+                self.close()
+                if attempt:
+                    if self.transport == "socket":
+                        raise ServiceError(
+                            f"daemon socket request failed: {exc}"
+                        ) from exc
+                    return None
+        return None  # pragma: no cover - loop always returns
+
+    @staticmethod
+    def _checked(response: Dict[str, Any]) -> Dict[str, Any]:
+        if not response.get("ok", False):
+            raise ServiceError(str(response.get("error", "service request failed")))
+        return response
 
     # -- operations --------------------------------------------------------------
 
@@ -218,6 +366,11 @@ class ServiceClient:
         wire["trace_fingerprint"] = fingerprint
         wire["cells"] = len(digests)
         wire["cell_digests"] = digests
+        response = self._socket_request(
+            {"op": "submit", "job_id": job_id, "request": wire, "priority": priority}
+        )
+        if response is not None:
+            return self._checked(response)
         record, deduped = self.queue.submit(job_id, wire, priority=priority)
         return ok_response(
             "submit",
@@ -229,6 +382,9 @@ class ServiceClient:
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """The job's current record."""
+        response = self._socket_request({"op": "status", "job": job_id})
+        if response is not None:
+            return self._checked(response)
         record = self.queue.find(job_id)
         return ok_response("status", job=record_to_wire(record))
 
@@ -238,6 +394,9 @@ class ServiceClient:
         This is byte-identical to what ``repro-dew sweep --format json``
         prints for the same grid over the same trace.
         """
+        response = self._socket_request({"op": "result", "job": job_id})
+        if response is not None:
+            return str(self._checked(response)["payload"])
         return self.queue.result_text(job_id)
 
     def result_frame(self, job_id: str) -> ResultsFrame:
@@ -262,6 +421,9 @@ class ServiceClient:
         daemon stops it between cells — the response carries
         ``requested=True`` and the job's still-running record in that case.
         """
+        response = self._socket_request({"op": "cancel", "job": job_id})
+        if response is not None:
+            return self._checked(response)
         record = self.queue.cancel(job_id)
         return ok_response(
             "cancel",
@@ -278,53 +440,61 @@ class ServiceClient:
         return [record_to_wire(record) for record in self.queue.records(state)]
 
     def stats(self) -> Dict[str, Any]:
-        """Queue counts, dedup accounting and the daemon's last heartbeat."""
-        counts = self.queue.counts()
-        submissions = self.queue.submissions()
-        distinct = sum(counts.values())
-        heartbeat = None
-        heartbeat_path = self.queue.root / "daemon.json"
-        if heartbeat_path.is_file():
-            try:
-                heartbeat = json.loads(heartbeat_path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                heartbeat = None
-        return ok_response(
-            "stats",
-            queue=counts,
-            submissions=submissions,
-            distinct_jobs=distinct,
-            coalesced_submissions=max(submissions - distinct, 0),
-            dedup_ratio=(
-                round(max(submissions - distinct, 0) / submissions, 6)
-                if submissions
-                else 0.0
-            ),
-            daemon=heartbeat,
-        )
+        """Queue counts, dedup accounting and per-daemon fleet liveness."""
+        response = self._socket_request({"op": "stats"})
+        if response is not None:
+            return self._checked(response)
+        return service_stats(self.queue)
 
     def wait(
         self,
         job_id: str,
         timeout: float = 60.0,
         poll_interval: float = 0.05,
+        max_poll_interval: float = 1.0,
     ) -> JobRecord:
-        """Poll until the job reaches a terminal state (or ``failed``).
+        """Block until the job reaches a terminal state (or ``failed``).
 
-        Returns the final record; raises :class:`~repro.errors.ServiceError`
-        when ``timeout`` elapses first.
+        Socket-connected clients park the wait inside the daemon, which
+        wakes them the moment the job finishes — no polling at all.  The
+        file path polls with capped exponential backoff plus jitter
+        (starting at ``poll_interval``, capped at ``max_poll_interval``,
+        reset whenever the observed state changes), so a long wait on an
+        idle deep queue stops hammering the record files with ``stat``
+        calls while a job that just went ``queued -> running`` is sampled
+        eagerly again.  Returns the final record; raises
+        :class:`~repro.errors.ServiceError` when ``timeout`` elapses first.
         """
         deadline = time.monotonic() + float(timeout)
+        response = self._socket_request(
+            {"op": "wait", "job": job_id, "timeout": float(timeout)},
+            timeout=float(timeout) + 5.0,
+        )
+        if response is not None:
+            if response.get("ok", False):
+                return JobRecord.from_dict(response["job"])
+            error = str(response.get("error", ""))
+            if "shutting down" not in error:
+                raise ServiceError(error or "service request failed")
+            # The daemon stopped mid-wait: finish the wait over files.
+        interval = max(float(poll_interval), 0.001)
+        cap = max(float(max_poll_interval), interval)
+        last_state: Optional[str] = None
         while True:
             record = self.queue.find(job_id)
             if record.state in TERMINAL_STATES or record.state == STATE_FAILED:
                 return record
-            if time.monotonic() >= deadline:
+            if record.state != last_state:
+                last_state = record.state
+                interval = max(float(poll_interval), 0.001)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServiceError(
                     f"timed out after {timeout:g}s waiting for job "
                     f"{record.id[:12]} (state: {record.state})"
                 )
-            time.sleep(poll_interval)
+            time.sleep(min(interval * (0.5 + random.random()), remaining))
+            interval = min(interval * 1.7, cap)
 
     def result_when_done(
         self, job_id: str, timeout: float = 60.0, poll_interval: float = 0.05

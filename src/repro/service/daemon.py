@@ -31,12 +31,23 @@ concurrently in threads; each job's sweep may additionally fan out over
 ``sweep_workers`` processes.  With ``workers=1`` execution is inline in
 the scheduler loop, which is also what makes the kill-mid-job semantics
 deterministic to test.
+
+**Fleet operation.**  Any number of daemons may drain the *same* service
+directory and store: claims are atomic renames (exactly one winner), each
+claim carries the claiming daemon's id plus a lease that the daemon renews
+through its heartbeat file, and recovery (startup and periodic) re-queues
+only jobs whose owner is provably gone — dead pid, stale heartbeat, or the
+daemon's own previous life.  In-flight cell marks live on disk in the
+shared store, so the overlap deferral that coalesces concurrent duplicate
+work operates across the whole fleet, and each daemon serves a
+Unix-domain socket giving clients a polling-free fast path.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
@@ -44,19 +55,43 @@ from threading import Lock
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.engine.sweep import SweepJob, run_sweep
-from repro.errors import ReproError, ServiceError, SweepAborted
+from repro.errors import ReproError, ServiceError, StoreError, SweepAborted
 from repro.service.api import SweepRequest
 from repro.service.queue import (
     DEFAULT_EVENT_RETAIN_SECONDS,
+    DEFAULT_JOB_RETAIN_SECONDS,
+    DEFAULT_LEASE_SECONDS,
+    STATE_QUEUED,
     JobQueue,
     JobRecord,
+    _local_host,
     open_service,
 )
+from repro.service.socketserver import ServiceSocketServer
 from repro.store import ResultStore, StoreKey, open_store
-from repro.store.resultstore import _atomic_replace
+from repro.store.resultstore import (
+    DEFAULT_INFLIGHT_TTL_SECONDS,
+    _atomic_replace,
+)
 
-#: Heartbeat / stats file the daemon atomically rewrites each scheduler tick.
+#: Legacy single-daemon heartbeat file name (pre-fleet); per-daemon
+#: heartbeats now live under ``daemons/<id>.json`` and this name remains
+#: only as the stats fallback for directories written by older builds.
 HEARTBEAT_NAME = "daemon.json"
+
+#: Daemon ids become file names (heartbeat + socket), so keep them tame.
+_DAEMON_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def default_daemon_id() -> str:
+    """The id a daemon takes when none is given: ``<host>-<pid>``.
+
+    Stable across a same-process restart (the kill/recover tests rely on
+    the restarted daemon recognising its own stranded claims) and unique
+    across fleet processes on one host.
+    """
+    host = re.sub(r"[^A-Za-z0-9._-]", "-", _local_host()) or "local"
+    return f"{host}-{os.getpid()}"
 
 
 class ServiceDaemon:
@@ -87,6 +122,21 @@ class ServiceDaemon:
         Optional observability hook called as ``on_cell(record, index,
         job, cached)`` after every persisted cell — the test suite uses it
         to deterministically kill the daemon mid-job.
+    daemon_id:
+        This daemon's fleet identity (heartbeat + socket file names, claim
+        ownership).  Defaults to ``<host>-<pid>``; two concurrent daemons
+        in one *process* must be given distinct ids explicitly.
+    lease_seconds:
+        Claim lease length.  The daemon renews by heartbeating; a peer
+        whose heartbeat goes stale for this long (or whose pid dies on
+        this host) forfeits its running jobs to recovery.
+    socket:
+        Serve the Unix-domain-socket front end (default).  A socket that
+        fails to bind downgrades to polling-only with a heartbeat note
+        rather than failing the daemon.
+    job_retain_seconds:
+        Retention window for finished job records, applied by the startup
+        ``queue gc`` sweep.
     """
 
     def __init__(
@@ -99,6 +149,11 @@ class ServiceDaemon:
         poll_interval: float = 0.1,
         on_cell: Optional[Callable[[JobRecord, int, SweepJob, bool], None]] = None,
         event_retain_seconds: float = DEFAULT_EVENT_RETAIN_SECONDS,
+        daemon_id: Optional[str] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        socket: bool = True,
+        job_retain_seconds: float = DEFAULT_JOB_RETAIN_SECONDS,
+        inflight_ttl_seconds: float = DEFAULT_INFLIGHT_TTL_SECONDS,
     ) -> None:
         self.queue: JobQueue = open_service(root)
         if store is None:
@@ -106,6 +161,18 @@ class ServiceDaemon:
         self.store: ResultStore = (
             store if isinstance(store, ResultStore) else open_store(store)
         )
+        self.daemon_id = default_daemon_id() if daemon_id is None else str(daemon_id)
+        if not _DAEMON_ID_RE.match(self.daemon_id):
+            raise ServiceError(
+                f"daemon id {self.daemon_id!r} is not a safe file name "
+                "(letters, digits, dot, underscore, dash; max 64 chars)"
+            )
+        self.lease_seconds = max(float(lease_seconds), 0.1)
+        self.socket_enabled = bool(socket)
+        self.socket_server: Optional[ServiceSocketServer] = None
+        self.socket_error: Optional[str] = None
+        self.job_retain_seconds = float(job_retain_seconds)
+        self.inflight_ttl_seconds = float(inflight_ttl_seconds)
         self.workers = max(int(workers), 1)
         self.sweep_workers = max(int(sweep_workers), 1)
         self.shm = shm
@@ -117,9 +184,17 @@ class ServiceDaemon:
         self.jobs_cancelled = 0
         self.cells_executed = 0
         self.cells_cached = 0
+        self.heartbeat_errors = 0
+        self._last_heartbeat_error: Optional[str] = None
         self._stopping = False
         self._started_at = time.time()
         self._lock = Lock()
+        # Separate lock for heartbeat pacing state: _write_heartbeat calls
+        # heartbeat(), which takes self._lock — a shared (non-reentrant)
+        # lock would deadlock the throttled renewal path.
+        self._heartbeat_state_lock = Lock()
+        self._last_heartbeat_at = 0.0
+        self._last_recover_at = time.monotonic()
         self._inflight_jobs: Dict[str, List[StoreKey]] = {}  # job id -> cell keys
 
     # -- lifecycle ---------------------------------------------------------------
@@ -131,36 +206,107 @@ class ServiceDaemon:
     def run(self, drain: bool = False, max_jobs: Optional[int] = None) -> int:
         """The scheduler loop; returns the number of jobs brought to an end.
 
-        ``drain=True`` exits once the queue is empty and nothing is in
-        flight (batch mode — the CI smoke and the tests use it);
-        ``max_jobs`` bounds how many jobs are finished before returning.
-        Startup always begins with :meth:`JobQueue.recover`, so jobs
-        stranded by a previous daemon's death are re-queued before any new
-        work is claimed.
+        ``drain=True`` exits once no job is queued and nothing is in
+        flight (batch mode — the CI smoke and the tests use it); jobs that
+        are queued but deferred on a peer's in-flight work keep the daemon
+        alive until the overlap clears.  ``max_jobs`` bounds how many jobs
+        are finished before returning.  Startup always begins with a
+        lease-aware :meth:`JobQueue.recover` — jobs stranded by dead
+        daemons (including this daemon's own previous life) are re-queued
+        and their dead owners' in-flight marks dropped, while a live
+        peer's leased jobs are untouched — followed by submit-event
+        pruning and the ``queue gc`` retention sweep.
         """
         self._stopping = False
-        recovered = self.queue.recover()
-        # Startup is also when submit-event bookkeeping is compacted: the
-        # count of pruned events is folded into the archive, so the dedup
-        # ratio is unchanged while the directory stays bounded.
+        recovered = self.queue.recover(
+            daemon_id=self.daemon_id, lease_seconds=self.lease_seconds
+        )
+        self._release_reclaimed(recovered)
+        # Startup is also when queue bookkeeping is compacted: submit
+        # events are pruned (their count folds into the archive, keeping
+        # the dedup ratio intact) and finished job records past the
+        # retention window are evicted with their payloads.
         pruned = self.queue.prune_events(self.event_retain_seconds)
-        if recovered or pruned:
-            notes = []
-            if recovered:
-                notes.append(f"recovered {len(recovered)} job(s)")
-            if pruned:
-                notes.append(f"pruned {pruned} submit event(s)")
-            self._write_heartbeat(note="; ".join(notes))
+        evicted = self.queue.gc(self.job_retain_seconds)
+        evicted_jobs = sum(
+            count
+            for state, count in evicted.items()
+            if state not in ("results", "bytes", "kept")
+        )
+        notes = []
+        if recovered:
+            notes.append(f"recovered {len(recovered)} job(s)")
+        if pruned:
+            notes.append(f"pruned {pruned} submit event(s)")
+        if evicted_jobs:
+            notes.append(f"evicted {evicted_jobs} finished job(s)")
+        self._start_socket()
+        if self.socket_error:
+            notes.append(f"socket disabled: {self.socket_error}")
+        self._write_heartbeat(note="; ".join(notes) if notes else None)
         finished_before = self._finished_total()
-        if self.workers == 1:
-            self._run_inline(drain, max_jobs, finished_before)
-        else:
-            self._run_pooled(drain, max_jobs, finished_before)
-        self._write_heartbeat(note="stopped")
+        try:
+            if self.workers == 1:
+                self._run_inline(drain, max_jobs, finished_before)
+            else:
+                self._run_pooled(drain, max_jobs, finished_before)
+        finally:
+            self._stop_socket()
+            self._write_heartbeat(note="stopped")
         return self._finished_total() - finished_before
 
     def _finished_total(self) -> int:
         return self.jobs_done + self.jobs_failed + self.jobs_cancelled
+
+    def _start_socket(self) -> None:
+        if not self.socket_enabled:
+            return
+        server = ServiceSocketServer(self.queue, self.daemon_id, stats_source=self)
+        try:
+            server.start()
+        except ServiceError as exc:
+            # The socket is an accelerator: a daemon that cannot bind one
+            # (path length limits, odd filesystems) still serves polling.
+            self.socket_error = str(exc)
+            return
+        self.socket_server = server
+        self.socket_error = None
+
+    def _stop_socket(self) -> None:
+        server, self.socket_server = self.socket_server, None
+        if server is not None:
+            server.stop()
+
+    def _release_reclaimed(self, recovered: List[JobRecord]) -> None:
+        """Drop dead owners' in-flight marks for every reclaimed job.
+
+        Without this, jobs overlapping a SIGKILLed daemon's cells would
+        stay deferred until the marker TTL ran out even though recovery
+        already proved the owner dead.
+        """
+        for record in recovered:
+            digests = record.request.get("cell_digests")
+            if isinstance(digests, list):
+                self.store.clear_in_flight_digests([str(d) for d in digests])
+
+    def _periodic_recover(self) -> None:
+        """Lease-expiry sweep from the idle path, once per lease interval.
+
+        ``reclaim_own=False``: a daemon's own id on a running record means
+        *this* life's worker threads are executing it — only dead peers
+        (and this daemon's dead previous lives, whose pid probe fails on
+        the claim's behalf) are eligible.
+        """
+        now = time.monotonic()
+        if now - self._last_recover_at < self.lease_seconds:
+            return
+        self._last_recover_at = now
+        recovered = self.queue.recover(
+            daemon_id=self.daemon_id,
+            lease_seconds=self.lease_seconds,
+            reclaim_own=False,
+        )
+        self._release_reclaimed(recovered)
 
     def _finished_enough(self, finished_before: int, max_jobs: Optional[int]) -> bool:
         if max_jobs is None:
@@ -171,11 +317,16 @@ class ServiceDaemon:
         self, drain: bool, max_jobs: Optional[int], finished_before: int
     ) -> None:
         while not self._stopping and not self._finished_enough(finished_before, max_jobs):
-            record = self.queue.claim(accept=self._accept)
+            record = self.queue.claim(
+                accept=self._accept,
+                daemon_id=self.daemon_id,
+                lease_seconds=self.lease_seconds,
+            )
             if record is None:
                 self._write_heartbeat()
-                if drain:
+                if drain and not self.queue.records(STATE_QUEUED):
                     break
+                self._periodic_recover()
                 time.sleep(self.poll_interval)
                 continue
             self._mark_job_inflight(record)
@@ -193,7 +344,11 @@ class ServiceDaemon:
                     break
                 claimed = None
                 if len(pending) < self.workers:
-                    claimed = self.queue.claim(accept=self._accept)
+                    claimed = self.queue.claim(
+                        accept=self._accept,
+                        daemon_id=self.daemon_id,
+                        lease_seconds=self.lease_seconds,
+                    )
                 if claimed is not None:
                     # Mark in flight from the scheduler thread, before the
                     # worker starts, so the next claim's overlap check can
@@ -202,8 +357,9 @@ class ServiceDaemon:
                     pending.append(pool.submit(self._execute, claimed))
                     continue
                 self._write_heartbeat()
-                if drain and not pending:
+                if drain and not pending and not self.queue.records(STATE_QUEUED):
                     break
+                self._periodic_recover()
                 time.sleep(self.poll_interval)
             for future in pending:
                 future.result()
@@ -215,12 +371,12 @@ class ServiceDaemon:
 
         Once the overlapping job finishes, its cells are in the store and
         the deferred job's next claim attempt loads them for free — that is
-        the cross-job half of request coalescing.  Only consulted when it
-        can matter (``workers > 1``; with one worker nothing else is ever
-        in flight).
+        the cross-job half of request coalescing.  The in-flight set is the
+        union of this daemon's marks and the on-disk markers every fleet
+        daemon writes, so the check holds across daemons: a ``workers=1``
+        daemon defers to a *peer's* in-flight cells even though nothing of
+        its own is ever concurrently in flight.
         """
-        if self.workers == 1:
-            return True
         digests = self._request_digests(record)
         if digests is None:
             return True  # malformed requests fail properly inside _execute
@@ -273,6 +429,10 @@ class ServiceDaemon:
                 self.queue.update_running(record)
                 if self.on_cell is not None:
                     self.on_cell(record, index, job, cached)
+                # A long sweep must keep renewing the claim lease even
+                # though the scheduler thread is busy (inline mode) — the
+                # heartbeat is throttled, so this is nearly free per cell.
+                self._maybe_heartbeat()
                 # Cancel requests are honored at cell granularity: the cell
                 # just persisted stays in the store, the rest of the sweep
                 # is abandoned, and run_sweep unwinds its pools/segments
@@ -324,6 +484,9 @@ class ServiceDaemon:
                 self.jobs_failed += 1
         finally:
             self._clear_inflight(record.id)
+            server = self.socket_server
+            if server is not None:
+                server.notify_job_finished()
 
     def _mark_job_inflight(self, record: JobRecord) -> None:
         """Register a claimed job's cell keys as in flight (scheduler thread).
@@ -343,7 +506,11 @@ class ServiceDaemon:
             self._inflight_jobs[record.id] = keys
         for key in keys:
             if not self.store.contains(key):
-                self.store.mark_in_flight(key)
+                self.store.mark_in_flight(
+                    key,
+                    owner=self.daemon_id,
+                    ttl_seconds=self.inflight_ttl_seconds,
+                )
 
     def _clear_inflight(self, job_id: str) -> None:
         with self._lock:
@@ -354,14 +521,23 @@ class ServiceDaemon:
     # -- observability -----------------------------------------------------------
 
     def heartbeat(self) -> Dict[str, Any]:
-        """The daemon's current counters (what ``stats`` reports)."""
+        """The daemon's current counters (what ``stats`` reports).
+
+        This payload doubles as the lease-renewal attestation: ``pid`` +
+        ``host`` feed the liveness pid probe, ``updated_at`` is what
+        :meth:`JobQueue.lease_deadline` extends leases from.
+        """
         with self._lock:
             inflight = sorted(self._inflight_jobs)
+        server = self.socket_server
         return {
             "schema": 1,
+            "daemon_id": self.daemon_id,
             "pid": os.getpid(),
+            "host": _local_host(),
             "started_at": self._started_at,
             "updated_at": time.time(),
+            "lease_seconds": self.lease_seconds,
             "workers": self.workers,
             "sweep_workers": self.sweep_workers,
             "jobs_done": self.jobs_done,
@@ -369,17 +545,52 @@ class ServiceDaemon:
             "jobs_cancelled": self.jobs_cancelled,
             "cells_executed": self.cells_executed,
             "cells_cached": self.cells_cached,
+            "heartbeat_errors": self.heartbeat_errors,
+            "socket": str(server.path) if server is not None and server.running else None,
             "inflight_jobs": [job_id[:12] for job_id in inflight],
             "store": self.store.stats(),
         }
 
     def _write_heartbeat(self, note: Optional[str] = None) -> None:
+        """Atomically publish the heartbeat; never let it kill the daemon.
+
+        A service root deleted (or made unwritable) underneath a running
+        daemon turns renewal failures into a counted, observable condition
+        instead of a crash: the daemon keeps draining, ``heartbeat_errors``
+        climbs, and operators see the last error in the next heartbeat
+        that does land.
+        """
         payload = self.heartbeat()
         if note:
             payload["note"] = note
-        _atomic_replace(
-            self.queue.root / HEARTBEAT_NAME,
-            lambda handle: json.dump(payload, handle, sort_keys=True),
-            mode="w",
-            prefix=".tmp-heartbeat-",
-        )
+        if self._last_heartbeat_error:
+            payload["last_heartbeat_error"] = self._last_heartbeat_error
+        try:
+            path = self.queue.heartbeat_path(self.daemon_id)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_replace(
+                path,
+                lambda handle: json.dump(payload, handle, sort_keys=True),
+                mode="w",
+                prefix=".tmp-heartbeat-",
+            )
+        except (OSError, StoreError) as exc:
+            with self._heartbeat_state_lock:
+                self.heartbeat_errors += 1
+                self._last_heartbeat_error = str(exc)
+        else:
+            with self._heartbeat_state_lock:
+                self._last_heartbeat_at = time.monotonic()
+
+    def _maybe_heartbeat(self, min_interval: Optional[float] = None) -> None:
+        """Heartbeat only if the last one is older than ``min_interval``.
+
+        The default interval is a quarter lease: frequent enough that a
+        healthy daemon's lease never approaches expiry, cheap enough to
+        call from per-cell progress hooks.
+        """
+        interval = self.lease_seconds / 4.0 if min_interval is None else min_interval
+        with self._heartbeat_state_lock:
+            due = time.monotonic() - self._last_heartbeat_at >= interval
+        if due:
+            self._write_heartbeat()

@@ -12,17 +12,24 @@ Every job is one JSON file whose *directory* encodes its state::
     <root>/results/<id>.json      result payload of completed jobs
     <root>/events/<nonce>.submit  one empty file per submit call
     <root>/events/archived.json   count of pruned submit events
-    <root>/daemon.json            daemon heartbeat + counters
+    <root>/daemons/<id>.json      per-daemon heartbeat + counters (the lease clock)
+    <root>/sockets/<id>.sock      per-daemon Unix socket (low-latency transport)
+    <root>/daemon.json            most recent heartbeat (legacy single-daemon alias)
 
 Durability rules mirror the result store's:
 
 * **State transitions are single renames.**  Claiming a job is one
   ``os.replace(queued/x, running/x)`` — atomic on POSIX, and it *fails* for
-  every claimant but one, so concurrent claimants can never double-claim.
-  Completing, failing and cancelling are the same primitive.  (Run one
-  daemon per service directory regardless: a second daemon's *startup
-  recovery* cannot tell a crashed predecessor's stranded jobs from a live
-  daemon's in-progress ones — see :meth:`JobQueue.recover`.)
+  every claimant but one, so concurrent claimants (including claimants in
+  different daemon processes) can never double-claim.  Completing, failing
+  and cancelling are the same primitive.
+* **Claims are leased.**  A claim records the claiming daemon's id and a
+  lease expiry; the daemon renews the lease simply by writing its heartbeat
+  file (``daemons/<id>.json``).  :meth:`JobQueue.recover` therefore
+  distinguishes a crashed daemon's stranded jobs (dead pid, stale
+  heartbeat, or expired lease — reclaimed) from a live peer's in-progress
+  ones (fresh heartbeat — left alone), which is what makes running N
+  daemons against one service directory safe.
 * **Record rewrites are atomic.**  Progress updates go through the shared
   temp-file-plus-rename writer, so a kill mid-update leaves the previous
   consistent record, never a truncated one.
@@ -46,6 +53,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket as _socketmod
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -95,6 +103,30 @@ _CANCEL_SUFFIX = ".cancel"
 #: so pruning them caps the directory at the last day's submission rate.
 DEFAULT_EVENT_RETAIN_SECONDS = 86_400.0
 
+#: Per-daemon heartbeat files (``<root>/daemons/<daemon_id>.json``) — the
+#: fleet's liveness registry and the lease-renewal clock.
+_DAEMONS_DIR = "daemons"
+
+#: Per-daemon Unix-domain sockets (``<root>/sockets/<daemon_id>.sock``).
+_SOCKETS_DIR = "sockets"
+
+#: How long a claimed job stays owned without a heartbeat renewal before
+#: another daemon's recovery may reclaim it.  Must comfortably exceed the
+#: daemon's heartbeat cadence (one write per scheduler tick).
+DEFAULT_LEASE_SECONDS = 30.0
+
+#: Default retention for finished/failed/cancelled job records and their
+#: result payloads (``queue gc``): one week.
+DEFAULT_JOB_RETAIN_SECONDS = 7 * 86_400.0
+
+
+def _local_host() -> str:
+    """This machine's name, as recorded in heartbeats for pid-probe scoping."""
+    try:
+        return _socketmod.gethostname()
+    except OSError:  # pragma: no cover - hostname lookup failure
+        return ""
+
 
 @dataclass
 class JobRecord:
@@ -114,6 +146,8 @@ class JobRecord:
     finished_at: Optional[float] = None
     execute_seconds: float = 0.0
     error: Optional[str] = None
+    daemon_id: Optional[str] = None
+    lease_expires_at: Optional[float] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -134,6 +168,8 @@ class JobRecord:
             "finished_at": self.finished_at,
             "execute_seconds": self.execute_seconds,
             "error": self.error,
+            "daemon_id": self.daemon_id,
+            "lease_expires_at": self.lease_expires_at,
             "extra": self.extra,
         }
 
@@ -160,6 +196,8 @@ class JobRecord:
             finished_at=payload.get("finished_at"),
             execute_seconds=float(payload.get("execute_seconds", 0.0)),
             error=payload.get("error"),
+            daemon_id=payload.get("daemon_id"),
+            lease_expires_at=payload.get("lease_expires_at"),
             extra=dict(payload.get("extra", {})),
         )
 
@@ -427,7 +465,10 @@ class JobQueue:
             ) from None
 
     def claim(
-        self, accept: Optional[Callable[[JobRecord], bool]] = None
+        self,
+        accept: Optional[Callable[[JobRecord], bool]] = None,
+        daemon_id: Optional[str] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
     ) -> Optional[JobRecord]:
         """Atomically claim the best queued job, or ``None`` when idle.
 
@@ -435,7 +476,16 @@ class JobQueue:
         sequence; ``accept`` lets the caller skip jobs it cannot run yet
         (the daemon uses it to defer jobs whose cells overlap work already
         in flight).  The claim itself is one ``os.replace`` — if another
-        claimant wins the race, the next candidate is tried.
+        claimant (thread or daemon process) wins the race, the next
+        candidate is tried, so any number of daemons can drain one queue
+        and a job is only ever executed by exactly one of them.
+
+        ``daemon_id`` records ownership on the running record, and the
+        claim carries a lease expiring ``lease_seconds`` from now.  The
+        expiry written here is only the *fallback* deadline: as long as the
+        owner keeps writing its heartbeat file the lease is considered
+        renewed (see :meth:`lease_deadline`), so progress rewrites of the
+        record never race a renewal.
         """
         for record in self.records(STATE_QUEUED):
             if accept is not None and not accept(record):
@@ -449,6 +499,8 @@ class JobQueue:
             record.attempts += 1
             record.started_at = time.time()
             record.error = None
+            record.daemon_id = daemon_id
+            record.lease_expires_at = record.started_at + max(float(lease_seconds), 0.0)
             self._write_record(STATE_RUNNING, record)
             return record
         return None
@@ -550,29 +602,255 @@ class JobQueue:
         self._transition(STATE_RUNNING, STATE_CANCELLED, record.id, rewritten=True)
         self.clear_cancel_request(record.id)
 
-    def recover(self) -> List[JobRecord]:
-        """Re-queue every job stranded in ``running`` by a dead daemon.
+    # -- fleet liveness ----------------------------------------------------------
 
-        Called by the daemon on startup.  Progress counters are reset (the
-        store, not the record, is the source of truth for completed cells —
-        the re-run loads persisted cells instead of re-simulating them).
+    def daemons_dir(self) -> Path:
+        """Directory of per-daemon heartbeat files."""
+        return self.root / _DAEMONS_DIR
 
-        This assumes the previous daemon is dead: recovery cannot
-        distinguish a stranded job from one a *live* daemon is still
-        executing, so starting a second daemon on the same service
-        directory re-queues (and re-runs) the first one's in-progress work.
-        The store keeps that safe — results stay byte-identical and
-        persisted cells are not re-simulated — but it is duplicate effort;
-        run one daemon per service directory.
+    def sockets_dir(self) -> Path:
+        """Directory of per-daemon Unix-domain sockets."""
+        return self.root / _SOCKETS_DIR
+
+    def heartbeat_path(self, daemon_id: str) -> Path:
+        """Where the given daemon's heartbeat file lives."""
+        return self.daemons_dir() / (str(daemon_id) + _RECORD_SUFFIX)
+
+    def daemon_heartbeats(self) -> Dict[str, Dict[str, Any]]:
+        """Every daemon's last heartbeat payload, keyed by daemon id.
+
+        Unreadable files are skipped (a heartbeat mid-rewrite is unreadable
+        for at most one atomic rename).  Includes dead daemons' final
+        heartbeats — liveness is the *reader's* judgement, via
+        :meth:`live_daemons` or :meth:`lease_deadline`.
         """
+        directory = self.daemons_dir()
+        heartbeats: Dict[str, Dict[str, Any]] = {}
+        if not directory.is_dir():
+            return heartbeats
+        for path in sorted(directory.glob("*" + _RECORD_SUFFIX)):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict):
+                heartbeats[path.stem] = payload
+        return heartbeats
+
+    @staticmethod
+    def _heartbeat_alive(
+        payload: Dict[str, Any], lease_seconds: float, now: float
+    ) -> bool:
+        """Whether a heartbeat payload attests a live daemon.
+
+        Fresh heartbeat -> alive.  A heartbeat from *this* host whose pid no
+        longer exists -> dead regardless of freshness, which is what lets a
+        restart (or a surviving peer) reclaim a SIGKILLed daemon's jobs
+        immediately instead of waiting out the lease.
+        """
+        try:
+            updated_at = float(payload.get("updated_at", 0.0))
+        except (TypeError, ValueError):
+            return False
+        if now - updated_at >= max(float(lease_seconds), 0.0):
+            return False
+        return not JobQueue._heartbeat_pid_dead(payload)
+
+    @staticmethod
+    def _heartbeat_pid_dead(payload: Dict[str, Any]) -> bool:
+        """Whether the heartbeat's pid provably no longer exists.
+
+        Only a same-host ``ProcessLookupError`` counts: other hosts cannot
+        be probed, and ``EPERM`` means the process exists under another
+        user.  A true result is the strongest death evidence there is — the
+        owner cannot possibly still be executing its jobs.
+        """
+        pid = payload.get("pid")
+        host = payload.get("host")
+        if isinstance(pid, int) and (host is None or host == _local_host()):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True
+            except OSError:
+                pass
+        return False
+
+    def live_daemons(
+        self,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        now: Optional[float] = None,
+    ) -> Dict[str, Dict[str, Any]]:
+        """Heartbeats of daemons currently considered alive."""
+        moment = time.time() if now is None else float(now)
+        return {
+            daemon_id: payload
+            for daemon_id, payload in self.daemon_heartbeats().items()
+            if self._heartbeat_alive(payload, lease_seconds, moment)
+        }
+
+    def lease_deadline(
+        self,
+        record: JobRecord,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        heartbeats: Optional[Dict[str, Dict[str, Any]]] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        """The moment ``record``'s claim lease runs out.
+
+        The lease is renewed by the owner's heartbeat: the deadline is the
+        later of the claim-time expiry written on the record and (last
+        heartbeat + ``lease_seconds``).  An owner whose pid is provably dead
+        on this host forfeits the lease immediately; a record with no owner
+        id at all (pre-lease records, or direct :meth:`claim` calls without
+        a daemon id) has only its claim-time expiry, defaulting to 0 —
+        i.e. immediately reclaimable, the pre-fleet behaviour.
+        """
+        moment = time.time() if now is None else float(now)
+        deadline = float(record.lease_expires_at or 0.0)
+        if not record.daemon_id:
+            return deadline
+        payload = (
+            heartbeats if heartbeats is not None else self.daemon_heartbeats()
+        ).get(record.daemon_id)
+        if payload is None:
+            return deadline
+        if not self._heartbeat_alive(payload, lease_seconds, moment):
+            if self._heartbeat_pid_dead(payload):
+                # A provably-dead owner forfeits immediately — this is what
+                # lets a survivor reclaim a SIGKILLed peer's jobs without
+                # waiting out the lease.
+                return 0.0
+            # Stale heartbeat: only the shorter of the claim-time expiry
+            # and the last renewal holds.
+            try:
+                updated_at = float(payload.get("updated_at", 0.0))
+            except (TypeError, ValueError):
+                updated_at = 0.0
+            return min(deadline, updated_at + max(float(lease_seconds), 0.0))
+        try:
+            updated_at = float(payload.get("updated_at", 0.0))
+        except (TypeError, ValueError):
+            updated_at = 0.0
+        return max(deadline, updated_at + max(float(lease_seconds), 0.0))
+
+    def recover(
+        self,
+        daemon_id: Optional[str] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        reclaim_own: bool = True,
+        now: Optional[float] = None,
+    ) -> List[JobRecord]:
+        """Re-queue running jobs stranded by dead daemons; spare live peers.
+
+        Called by every daemon at startup and periodically afterwards.  A
+        running record is reclaimed when its owner is provably gone:
+
+        * it carries no owner id (legacy records, or a claim that died
+          between the rename and the record rewrite);
+        * it is owned by *this* daemon id and ``reclaim_own`` is true — a
+          daemon's own id appearing at startup means a previous life of the
+          same daemon died mid-job (periodic recovery passes
+          ``reclaim_own=False`` so it never steals its own live work);
+        * its lease has run out (see :meth:`lease_deadline`: stale or
+          absent heartbeat past the claim expiry, or a dead pid).
+
+        Jobs whose owner still holds a live lease are left alone — that is
+        the property that makes an N-daemon fleet safe.  Progress counters
+        of reclaimed jobs are reset (the store, not the record, is the
+        source of truth for completed cells — the re-run loads persisted
+        cells instead of re-simulating them).
+        """
+        moment = time.time() if now is None else float(now)
+        heartbeats = self.daemon_heartbeats()
         recovered = []
         for record in self.records(STATE_RUNNING):
+            owner = record.daemon_id
+            if owner and daemon_id and owner == daemon_id:
+                if not reclaim_own:
+                    continue
+            elif owner:
+                deadline = self.lease_deadline(
+                    record, lease_seconds, heartbeats=heartbeats, now=moment
+                )
+                if moment < deadline:
+                    continue  # a live peer is executing this job
             record.cells_done = 0
             record.cells_cached = 0
+            record.daemon_id = None
+            record.lease_expires_at = None
             self._write_record(STATE_QUEUED, record)
             self._transition(STATE_RUNNING, STATE_QUEUED, record.id, rewritten=True)
             recovered.append(record)
         return recovered
+
+    # -- retention ---------------------------------------------------------------
+
+    def gc(
+        self,
+        retain_seconds: float = DEFAULT_JOB_RETAIN_SECONDS,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Evict finished job records (and their payloads) past retention.
+
+        Jobs in a terminal-or-failed state whose ``finished_at`` (falling
+        back to the record file's mtime) is older than ``retain_seconds``
+        are deleted, together with their result payloads and any stale
+        cancel markers.  Queued and running jobs are never touched.  Returns
+        counts per state plus ``results`` (payload files), ``bytes``
+        (total reclaimed) and ``kept`` (finished jobs inside the window);
+        with ``dry_run=True`` nothing is deleted and the same counts
+        describe what *would* go.
+        """
+        cutoff = (time.time() if now is None else float(now)) - max(
+            float(retain_seconds), 0.0
+        )
+        report = {state: 0 for state in (STATE_DONE, STATE_FAILED, STATE_CANCELLED)}
+        report["results"] = 0
+        report["bytes"] = 0
+        report["kept"] = 0
+        for state in (STATE_DONE, STATE_FAILED, STATE_CANCELLED):
+            directory = self._state_dir(state)
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*" + _RECORD_SUFFIX)):
+                record = self._read_record(path)
+                try:
+                    size = path.stat().st_size
+                    finished = (
+                        float(record.finished_at)
+                        if record is not None and record.finished_at
+                        else path.stat().st_mtime
+                    )
+                except OSError:
+                    continue  # raced with a concurrent collector
+                if finished >= cutoff:
+                    report["kept"] += 1
+                    continue
+                job_id = record.id if record is not None else path.stem
+                result_path = self.result_path(job_id)
+                try:
+                    result_size = result_path.stat().st_size
+                except OSError:
+                    result_size = None
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue  # another collector won this record
+                    if result_size is not None:
+                        try:
+                            result_path.unlink()
+                        except OSError:
+                            result_size = None
+                    self.clear_cancel_request(job_id)
+                report[state] += 1
+                report["bytes"] += size
+                if result_size is not None:
+                    report["results"] += 1
+                    report["bytes"] += result_size
+        return report
 
     def result_text(self, job_id_or_prefix: str) -> str:
         """The stored result payload of a completed job."""
@@ -612,6 +890,8 @@ def open_service(path: Union[str, os.PathLike], create: bool = True) -> JobQueue
             (root / _JOBS_DIR / _CANCEL_DIR).mkdir(parents=True, exist_ok=True)
             (root / _RESULTS_DIR).mkdir(parents=True, exist_ok=True)
             (root / _EVENTS_DIR).mkdir(parents=True, exist_ok=True)
+            (root / _DAEMONS_DIR).mkdir(parents=True, exist_ok=True)
+            (root / _SOCKETS_DIR).mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise ServiceError(f"could not create service at {root}: {exc}") from exc
         _atomic_replace(
@@ -641,4 +921,6 @@ def open_service(path: Union[str, os.PathLike], create: bool = True) -> JobQueue
         (root / _JOBS_DIR / _CANCEL_DIR).mkdir(parents=True, exist_ok=True)
         (root / _RESULTS_DIR).mkdir(parents=True, exist_ok=True)
         (root / _EVENTS_DIR).mkdir(parents=True, exist_ok=True)
+        (root / _DAEMONS_DIR).mkdir(parents=True, exist_ok=True)
+        (root / _SOCKETS_DIR).mkdir(parents=True, exist_ok=True)
     return JobQueue(root)

@@ -1,0 +1,421 @@
+"""Unix-domain-socket front end for the simulation service.
+
+The polling-file transport (see :mod:`repro.service.api`) is durable and
+daemon-optional, but every ``wait`` pays a latency floor of one polling
+interval.  This module adds a *low-latency* path on the same versioned JSON
+envelopes: each daemon binds ``<root>/sockets/<daemon_id>.sock`` and serves
+the client operations over newline-delimited JSON, so ``submit`` /
+``status`` / ``result`` / ``wait`` become one round trip and a waiting
+client is woken the moment the daemon finishes the job instead of on its
+next poll.
+
+Wire format: one JSON object per line in each direction, over a persistent
+connection.  Requests are ``{"wire": 1, "op": <name>, ...}``; responses are
+exactly the envelopes the polling transport produces (``ok_response`` /
+``error_response``), so a client can take either path and see identical
+payloads.  The socket is an accelerator, never a requirement — clients fall
+back to polling files whenever no live socket is found, and every mutation
+the server performs goes through the same durable :class:`JobQueue`
+primitives the file path uses.
+
+The server side runs as a daemon thread inside :class:`ServiceDaemon`; a
+daemon that cannot bind its socket (path length limits, exotic platforms)
+logs the fact in its heartbeat and keeps serving the polling transport.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.errors import ServiceError
+from repro.service.queue import (
+    STATE_FAILED,
+    TERMINAL_STATES,
+    JobQueue,
+)
+
+#: Suffix of per-daemon socket files under ``<root>/sockets/``.
+SOCKET_SUFFIX = ".sock"
+
+#: Interval at which a server-side ``wait`` re-reads the job record even
+#: without a local completion notification — this is what resolves waits
+#: for jobs a *peer* daemon finishes (the peer cannot wake our waiters).
+_WAIT_RECHECK_SECONDS = 0.05
+
+#: Safety cap on a single request line (a submit request with a large cell
+#: digest list is ~100 bytes per cell; 8 MiB is orders of magnitude above
+#: any real grid).
+_MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+def send_message(handle, payload: Dict[str, Any]) -> None:
+    """Write one newline-delimited JSON message."""
+    handle.write(json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n")
+    handle.flush()
+
+
+def recv_message(handle) -> Optional[Dict[str, Any]]:
+    """Read one newline-delimited JSON message (``None`` on EOF)."""
+    line = handle.readline(_MAX_LINE_BYTES)
+    if not line:
+        return None
+    payload = json.loads(line.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("socket message must be a JSON object")
+    return payload
+
+
+class ServiceSocketServer:
+    """One daemon's socket listener, serving client ops over its queue.
+
+    Runs the accept loop in a daemon thread plus one thread per connection.
+    All state mutations go through the shared durable :class:`JobQueue`, so
+    a socket-served submit is indistinguishable on disk from a file-path
+    one.  ``stats_source`` (the owning daemon's live counters) is consulted
+    by the ``stats`` op so socket clients see the same heartbeat the file
+    transport reads from disk.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        daemon_id: str,
+        stats_source: Optional[Any] = None,
+    ) -> None:
+        self.queue = queue
+        self.daemon_id = str(daemon_id)
+        self.stats_source = stats_source
+        self.path: Path = queue.sockets_dir() / (self.daemon_id + SOCKET_SUFFIX)
+        self.requests_served = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self._finish_cond = threading.Condition()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the listener is bound and accepting."""
+        return self._listener is not None and not self._stopping
+
+    def start(self) -> None:
+        """Bind the socket and start accepting; raises ``ServiceError`` on failure."""
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                self.path.unlink()  # a stale socket from a dead previous life
+            except OSError:
+                pass
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(str(self.path))
+            listener.listen(16)
+            listener.settimeout(0.2)
+        except OSError as exc:
+            raise ServiceError(
+                f"could not bind service socket {self.path}: {exc}"
+            ) from exc
+        self._listener = listener
+        self._stopping = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"svc-sock-{self.daemon_id}", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting, close the listener and remove the socket file."""
+        self._stopping = True
+        with self._finish_cond:
+            self._finish_cond.notify_all()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+
+    def notify_job_finished(self) -> None:
+        """Wake blocked ``wait`` handlers (called by the daemon per finished job)."""
+        with self._finish_cond:
+            self._finish_cond.notify_all()
+
+    # -- server loops ------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping and listener is not None:
+            try:
+                connection, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us during stop()
+            threading.Thread(
+                target=self._serve_connection, args=(connection,), daemon=True
+            ).start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        from repro.service.api import error_response
+
+        try:
+            connection.settimeout(None)
+            handle = connection.makefile("rwb")
+            while not self._stopping:
+                try:
+                    request = recv_message(handle)
+                except (ValueError, OSError):
+                    break
+                if request is None:
+                    break
+                try:
+                    response = self._dispatch(request)
+                except ServiceError as exc:
+                    response = error_response(exc)
+                except Exception as exc:  # noqa: BLE001 - a request must not kill the server
+                    response = error_response(f"{type(exc).__name__}: {exc}")
+                try:
+                    send_message(handle, response)
+                except OSError:
+                    break
+                self.requests_served += 1
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.service.api import (
+            SERVICE_WIRE_VERSION,
+            ok_response,
+            record_to_wire,
+            service_stats,
+        )
+
+        if request.get("wire") != SERVICE_WIRE_VERSION:
+            raise ServiceError(
+                f"socket request uses wire version {request.get('wire')!r}; "
+                f"this daemon speaks version {SERVICE_WIRE_VERSION}"
+            )
+        op = request.get("op")
+        if op == "ping":
+            return ok_response("pong", daemon_id=self.daemon_id)
+        if op == "submit":
+            job_id = str(request["job_id"])
+            record, deduped = self.queue.submit(
+                job_id,
+                dict(request["request"]),
+                priority=int(request.get("priority", 0)),
+            )
+            return ok_response(
+                "submit",
+                job_id=record.id,
+                state=record.state,
+                deduped=deduped,
+                priority=record.priority,
+            )
+        if op == "status":
+            record = self.queue.find(str(request["job"]))
+            return ok_response("status", job=record_to_wire(record))
+        if op == "result":
+            payload = self.queue.result_text(str(request["job"]))
+            return ok_response("result", payload=payload)
+        if op == "cancel":
+            record = self.queue.cancel(str(request["job"]))
+            return ok_response(
+                "cancel",
+                job=record_to_wire(record),
+                requested=record.state == "running",
+            )
+        if op == "stats":
+            return self._stats_response(service_stats)
+        if op == "wait":
+            return self._handle_wait(request, ok_response, record_to_wire)
+        raise ServiceError(f"unknown socket operation {op!r}")
+
+    def _stats_response(self, service_stats) -> Dict[str, Any]:
+        """Fleet stats with this daemon's entry refreshed from live counters.
+
+        Heartbeat files lag by up to a renewal interval; a socket client
+        asking the daemon directly deserves the daemon's current numbers.
+        """
+        from repro.service.api import _heartbeat_updated_at
+
+        response = service_stats(self.queue)
+        source = self.stats_source
+        if source is None:
+            return response
+        try:
+            live = dict(source.heartbeat())
+        except Exception:  # noqa: BLE001 - stats must degrade, not fail
+            return response
+        live["alive"] = True
+        daemons = dict(response.get("daemons", {}))
+        daemons[self.daemon_id] = live
+        response["daemons"] = daemons
+        response["live_daemons"] = sum(
+            1 for entry in daemons.values() if entry.get("alive")
+        )
+        response["daemon"] = max(daemons.values(), key=_heartbeat_updated_at)
+        return response
+
+    def _handle_wait(self, request, ok_response, record_to_wire) -> Dict[str, Any]:
+        """Block until the job is terminal (or failed), then answer.
+
+        The fast path is the owning daemon's ``notify_job_finished`` call;
+        the periodic re-check covers jobs finished by peer daemons and a
+        server shutting down mid-wait.
+        """
+        job_id = str(request["job"])
+        timeout = float(request.get("timeout", 60.0))
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.queue.find(job_id)
+            if record.state in TERMINAL_STATES or record.state == STATE_FAILED:
+                return ok_response("wait", job=record_to_wire(record))
+            if self._stopping:
+                raise ServiceError("daemon is shutting down; retry over polling")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"timed out after {timeout:g}s waiting for job "
+                    f"{record.id[:12]} (state: {record.state})"
+                )
+            with self._finish_cond:
+                self._finish_cond.wait(min(_WAIT_RECHECK_SECONDS, remaining))
+
+
+class SocketTransport:
+    """Client side of the socket protocol: one connection, serial requests.
+
+    Thread-safe (requests are serialized on a lock).  Any transport-level
+    failure raises ``OSError``/``ValueError`` to the caller, which is the
+    :class:`~repro.service.api.ServiceClient`'s cue to fall back to the
+    polling-file path; protocol-level errors (``{"ok": false}``) surface as
+    :class:`~repro.errors.ServiceError` exactly like file-path failures.
+    """
+
+    def __init__(self, path: Path, connect_timeout: float = 0.5) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(connect_timeout)
+        try:
+            self._sock.connect(str(self.path))
+        except OSError:
+            self._sock.close()
+            raise
+        self._handle = self._sock.makefile("rwb")
+
+    def request(
+        self, payload: Dict[str, Any], timeout: Optional[float] = 30.0
+    ) -> Dict[str, Any]:
+        """One request/response round trip (raises ``OSError`` on dead sockets)."""
+        with self._lock:
+            self._sock.settimeout(timeout)
+            send_message(self._handle, payload)
+            response = recv_message(self._handle)
+        if response is None:
+            raise OSError("service socket closed by the daemon")
+        return response
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def discover_socket(
+    queue: JobQueue, connect_timeout: float = 0.5
+) -> Optional[SocketTransport]:
+    """Connect to any live daemon socket of the service, or ``None``.
+
+    Tries every ``sockets/*.sock`` entry (sorted for determinism), verifying
+    liveness with a ``ping`` — a stale socket file left by a SIGKILLed
+    daemon fails to connect (or to answer) and is skipped.
+    """
+    directory = queue.sockets_dir()
+    if not directory.is_dir():
+        return None
+    from repro.service.api import SERVICE_WIRE_VERSION
+
+    for path in sorted(directory.glob("*" + SOCKET_SUFFIX)):
+        try:
+            transport = SocketTransport(path, connect_timeout=connect_timeout)
+        except OSError:
+            continue
+        try:
+            response = transport.request(
+                {"wire": SERVICE_WIRE_VERSION, "op": "ping"}, timeout=connect_timeout
+            )
+            if response.get("ok") and response.get("type") == "pong":
+                return transport
+        except (OSError, ValueError):
+            pass
+        transport.close()
+    return None
+
+
+def remove_stale_sockets(queue: JobQueue) -> int:
+    """Unlink socket files no daemon answers on; returns how many."""
+    directory = queue.sockets_dir()
+    if not directory.is_dir():
+        return 0
+    from repro.service.api import SERVICE_WIRE_VERSION
+
+    removed = 0
+    for path in sorted(directory.glob("*" + SOCKET_SUFFIX)):
+        try:
+            transport = SocketTransport(path, connect_timeout=0.25)
+        except OSError:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+            continue
+        try:
+            transport.request(
+                {"wire": SERVICE_WIRE_VERSION, "op": "ping"}, timeout=0.25
+            )
+        except (OSError, ValueError):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        finally:
+            transport.close()
+    return removed
+
+
+__all__ = [
+    "SOCKET_SUFFIX",
+    "ServiceSocketServer",
+    "SocketTransport",
+    "discover_socket",
+    "recv_message",
+    "remove_stale_sockets",
+    "send_message",
+]

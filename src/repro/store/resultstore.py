@@ -35,6 +35,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
@@ -52,6 +53,14 @@ STORE_SCHEMA_VERSION = 1
 _MANIFEST_NAME = "store.json"
 _OBJECTS_DIR = "objects"
 _ARTIFACT_SUFFIX = ".npz"
+_INFLIGHT_DIR = "inflight"
+_INFLIGHT_SUFFIX = ".flight"
+
+#: How long an on-disk in-flight marker stays authoritative without being
+#: refreshed.  A daemon that crashes mid-cell leaves its markers behind;
+#: once the TTL passes they stop deferring overlapping jobs and are lazily
+#: unlinked by the next reader.
+DEFAULT_INFLIGHT_TTL_SECONDS = 120.0
 
 
 def _atomic_replace(target: Path, writer, mode: str = "wb", prefix: str = ".tmp-") -> None:
@@ -200,35 +209,126 @@ class ResultStore:
         see one set of numbers, so a served sweep's hit/miss split reflects
         everything that happened to the store, not one caller's view.
         """
-        with self._in_flight_lock:
-            in_flight = len(self._in_flight)
         return {
             "hits": self.hit_count,
             "misses": self.miss_count,
             "corrupt": self.corrupt_count,
             "puts": self.put_count,
-            "in_flight": in_flight,
+            "in_flight": len(self.in_flight_digests()),
         }
 
-    def mark_in_flight(self, key: StoreKey) -> None:
-        """Record that ``key`` is currently being simulated (not yet stored)."""
+    def _in_flight_path(self, digest: str) -> Path:
+        return self.root / _INFLIGHT_DIR / (digest + _INFLIGHT_SUFFIX)
+
+    def mark_in_flight(
+        self,
+        key: StoreKey,
+        owner: Optional[str] = None,
+        ttl_seconds: float = DEFAULT_INFLIGHT_TTL_SECONDS,
+    ) -> None:
+        """Record that ``key`` is currently being simulated (not yet stored).
+
+        The mark is kept twice: in this instance's memory (the fast path the
+        single-daemon scheduler reads) and as an atomic-rename marker file
+        under ``<root>/inflight/`` carrying the owner and a TTL, which is
+        what makes in-flight coalescing visible *across* daemon processes
+        sharing the store.  Marker-file write failures degrade to the
+        memory-only mark — coalescing is an optimisation, never a
+        correctness requirement.
+        """
         with self._in_flight_lock:
             self._in_flight.add(key.digest)
+        marker = {
+            "schema": 1,
+            "digest": key.digest,
+            "owner": owner,
+            "marked_at": time.time(),
+            "ttl_seconds": max(float(ttl_seconds), 0.0),
+        }
+        try:
+            path = self._in_flight_path(key.digest)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_replace(
+                path,
+                lambda handle: json.dump(marker, handle, sort_keys=True),
+                mode="w",
+                prefix=".tmp-flight-",
+            )
+        except (OSError, StoreError):
+            pass
 
     def clear_in_flight(self, key: StoreKey) -> None:
         """Drop the in-flight mark for ``key`` (no-op when absent)."""
-        with self._in_flight_lock:
-            self._in_flight.discard(key.digest)
+        self.clear_in_flight_digests((key.digest,))
+
+    def clear_in_flight_digests(self, digests: Sequence[str]) -> None:
+        """Drop in-flight marks by digest (no-ops when absent).
+
+        The digest form serves the reclaim path: a daemon re-queuing a dead
+        peer's job holds the record's persisted digest list, not live
+        :class:`StoreKey` objects, and must drop the dead owner's marks so
+        overlapping jobs stop deferring to a computation nobody is running.
+        """
+        for digest in digests:
+            with self._in_flight_lock:
+                self._in_flight.discard(str(digest))
+            try:
+                self._in_flight_path(str(digest)).unlink()
+            except OSError:
+                pass
+
+    def _read_marker(self, path: Path, now: float) -> Optional[str]:
+        """The digest a live marker file asserts, or ``None`` when expired.
+
+        An expired or unreadable marker is removed on the way out, so a
+        crashed owner's stale marks stop costing a stat per scan.
+        """
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            marked_at = float(payload["marked_at"])
+            ttl = float(payload.get("ttl_seconds", DEFAULT_INFLIGHT_TTL_SECONDS))
+            digest = str(payload["digest"])
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if now - marked_at >= ttl:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return digest
 
     def is_in_flight(self, key: StoreKey) -> bool:
-        """Whether ``key`` is marked as currently being simulated."""
+        """Whether ``key`` is marked as currently being simulated (any owner)."""
         with self._in_flight_lock:
-            return key.digest in self._in_flight
+            if key.digest in self._in_flight:
+                return True
+        path = self._in_flight_path(key.digest)
+        if not path.is_file():
+            return False
+        return self._read_marker(path, time.time()) == key.digest
 
     def in_flight_digests(self) -> frozenset:
-        """Snapshot of the digests currently marked in flight."""
+        """Snapshot of the digests currently marked in flight.
+
+        The union of this instance's memory marks and every live (non-TTL-
+        expired) marker file, so a scheduler consulting it defers on work
+        owned by *any* daemon sharing the store.
+        """
         with self._in_flight_lock:
-            return frozenset(self._in_flight)
+            digests = set(self._in_flight)
+        inflight = self.root / _INFLIGHT_DIR
+        if inflight.is_dir():
+            now = time.time()
+            for path in inflight.glob("*" + _INFLIGHT_SUFFIX):
+                digest = self._read_marker(path, now)
+                if digest is not None:
+                    digests.add(digest)
+        return frozenset(digests)
 
     # -- addressing -------------------------------------------------------------
 
@@ -299,8 +399,7 @@ class ResultStore:
         )
         self.put_count += 1
         # A persisted artifact is by definition no longer being computed.
-        with self._in_flight_lock:
-            self._in_flight.discard(key.digest)
+        self.clear_in_flight(key)
         return path
 
     def delete(self, key: StoreKey) -> bool:

@@ -1,0 +1,482 @@
+"""Tests for fleet operation: leases, cross-daemon coalescing, the socket.
+
+The property the fleet work protects is the single-daemon service's own
+guarantee scaled out: with N daemons on one store and one queue, every job
+runs exactly once at a time (atomic claims + heartbeat leases), a dead
+daemon's work is reclaimed without re-simulating persisted cells, and no
+transport or failover path bends byte-identity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.engine import run_sweep
+from repro.errors import ServiceError
+from repro.service import (
+    ServiceClient,
+    ServiceDaemon,
+    SweepRequest,
+    discover_socket,
+    open_service,
+)
+from repro.service.queue import (
+    STATE_DONE,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    _local_host,
+)
+from repro.store import open_store
+from repro.trace.files import load_trace_file
+from repro.trace.textio import write_text_trace
+from repro.workloads.synthetic import WorkingSetGenerator
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.csv"
+    trace = WorkingSetGenerator(hot_bytes=2048, cold_bytes=1 << 15).generate(
+        1200, seed=13
+    )
+    write_text_trace(trace, path, fmt="csv")
+    return str(path)
+
+
+def _request(trace_file, **overrides):
+    options = dict(
+        trace_path=trace_file,
+        block_sizes=(8, 16),
+        associativities=(1, 2),
+        max_sets=32,
+        policies=("fifo", "lru"),
+    )
+    options.update(overrides)
+    return SweepRequest(**options)
+
+
+def _write_heartbeat(queue, daemon_id, **overrides):
+    payload = {
+        "schema": 1,
+        "daemon_id": daemon_id,
+        "pid": os.getpid(),
+        "host": _local_host(),
+        "updated_at": time.time(),
+    }
+    payload.update(overrides)
+    queue.daemons_dir().mkdir(parents=True, exist_ok=True)
+    queue.heartbeat_path(daemon_id).write_text(json.dumps(payload))
+    return payload
+
+
+def _dead_pid():
+    """A pid that provably does not exist (a reaped child's)."""
+    child = subprocess.Popen([sys.executable, "-c", "pass"])
+    child.wait()
+    return child.pid
+
+
+class TestLeases:
+    def test_concurrent_claims_have_exactly_one_winner(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.submit("a" * 64, {})
+        winners = []
+        barrier = threading.Barrier(8)
+
+        def race(index):
+            contender = open_service(tmp_path)
+            barrier.wait()
+            record = contender.claim(daemon_id=f"d{index}")
+            if record is not None:
+                winners.append(record)
+
+        threads = [threading.Thread(target=race, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(winners) == 1
+        assert queue.counts()[STATE_RUNNING] == 1
+        assert winners[0].daemon_id in {f"d{i}" for i in range(8)}
+        assert winners[0].lease_expires_at > time.time()
+
+    def test_recover_spares_live_peer_lease(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.submit("a" * 64, {})
+        record = queue.claim(daemon_id="d1", lease_seconds=30.0)
+        assert record is not None
+        _write_heartbeat(queue, "d1")
+        peer = open_service(tmp_path)
+        assert peer.recover(daemon_id="d2", lease_seconds=30.0) == []
+        assert queue.counts()[STATE_RUNNING] == 1
+
+    def test_recover_reclaims_stale_heartbeat_after_lease(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.submit("a" * 64, {})
+        record = queue.claim(daemon_id="d1", lease_seconds=0.05)
+        record.cells_done = 3
+        queue.update_running(record)
+        # The owner's pid is alive (it is this process) but its heartbeat
+        # has gone stale: freshness, not existence, governs renewal.
+        _write_heartbeat(queue, "d1", updated_at=time.time() - 100.0)
+        time.sleep(0.1)
+        recovered = open_service(tmp_path).recover(
+            daemon_id="d2", lease_seconds=0.05
+        )
+        assert [r.id for r in recovered] == ["a" * 64]
+        requeued = queue.find("a" * 64)
+        assert requeued.state == STATE_QUEUED
+        assert requeued.cells_done == 0 and requeued.daemon_id is None
+
+    def test_recover_reclaims_dead_pid_immediately(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.submit("a" * 64, {})
+        assert queue.claim(daemon_id="d1", lease_seconds=300.0) is not None
+        # Fresh heartbeat, long lease — but the pid is provably gone, so
+        # the lease is forfeited without waiting anything out.
+        _write_heartbeat(queue, "d1", pid=_dead_pid())
+        recovered = open_service(tmp_path).recover(
+            daemon_id="d2", lease_seconds=300.0
+        )
+        assert [r.id for r in recovered] == ["a" * 64]
+
+    def test_recover_without_own_reclaim_spares_own_jobs(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.submit("a" * 64, {})
+        assert queue.claim(daemon_id="d1", lease_seconds=300.0) is not None
+        _write_heartbeat(queue, "d1")
+        assert queue.recover(daemon_id="d1", lease_seconds=300.0,
+                             reclaim_own=False) == []
+        assert [r.id for r in queue.recover(daemon_id="d1",
+                                            lease_seconds=300.0)] == ["a" * 64]
+
+    def test_expired_lease_rerun_pays_only_unpersisted_cells(
+        self, tmp_path, trace_file
+    ):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True, transport="files")
+        request = _request(trace_file)
+        job_id = client.submit(request)["job_id"]
+        total_cells = len(request.build_jobs())
+
+        def die_after_first_cell(record, index, job, cached):
+            raise KeyboardInterrupt
+
+        store = open_store(root / "store")
+        first = ServiceDaemon(
+            root, store=store, daemon_id="d1", lease_seconds=0.1,
+            socket=False, on_cell=die_after_first_cell,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            first.run(drain=True)
+        assert client.queue.find(job_id).state == STATE_RUNNING
+        assert len(store) == 1
+
+        # A *different* daemon id: only the expired lease (d1's heartbeat
+        # goes stale while its pid stays alive) lets d2 take the job.
+        time.sleep(0.25)
+        second = ServiceDaemon(
+            root, store=store, daemon_id="d2", lease_seconds=0.1, socket=False
+        )
+        assert second.run(drain=True) == 1
+        record = client.queue.find(job_id)
+        assert record.state == STATE_DONE
+        assert record.cells_cached == 1
+        assert record.extra["executed_jobs"] == total_cells - 1
+        direct = run_sweep(
+            load_trace_file(trace_file), request.build_jobs()
+        ).merged().to_json()
+        assert client.result_text(job_id) == direct
+
+
+class TestCrossDaemonInflight:
+    def test_markers_visible_across_store_instances(self, tmp_path, trace_file):
+        store_a = open_store(tmp_path / "store")
+        store_b = open_store(tmp_path / "store")
+        request = _request(trace_file)
+        fingerprint = load_trace_file(trace_file).fingerprint()
+        key = request.build_jobs()[0].store_key(fingerprint)
+        store_a.mark_in_flight(key, owner="d1")
+        assert store_b.is_in_flight(key)
+        assert key.digest in store_b.in_flight_digests()
+        store_b.clear_in_flight(key)
+        assert not store_b.is_in_flight(key)
+
+    def test_marker_ttl_expires(self, tmp_path, trace_file):
+        store_a = open_store(tmp_path / "store")
+        request = _request(trace_file)
+        fingerprint = load_trace_file(trace_file).fingerprint()
+        key = request.build_jobs()[0].store_key(fingerprint)
+        store_a.mark_in_flight(key, owner="d1", ttl_seconds=0.05)
+        time.sleep(0.1)
+        store_b = open_store(tmp_path / "store")
+        assert not store_b.is_in_flight(key)
+        assert store_b.in_flight_digests() == frozenset()
+
+    def test_stale_marker_ttl_undefers_overlapping_job(
+        self, tmp_path, trace_file
+    ):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True, transport="files")
+        request = _request(trace_file)
+        job_id = client.submit(request)["job_id"]
+        record = client.queue.find(job_id)
+        fingerprint = load_trace_file(trace_file).fingerprint()
+        key = request.build_jobs()[0].store_key(fingerprint)
+        # A foreign store handle marks one overlapping cell, as a peer
+        # daemon (since SIGKILLed) would have.
+        foreign = open_store(root / "store")
+        foreign.mark_in_flight(key, owner="dead-peer", ttl_seconds=0.1)
+        daemon = ServiceDaemon(root, daemon_id="d2", socket=False)
+        assert daemon._accept(record) is False
+        time.sleep(0.2)
+        assert daemon._accept(record) is True
+
+    def test_reclaim_clears_dead_owner_markers(self, tmp_path, trace_file):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True, transport="files")
+        request = _request(trace_file)
+        job_id = client.submit(request)["job_id"]
+        record = client.queue.find(job_id)
+        fingerprint = load_trace_file(trace_file).fingerprint()
+        keys = [job.store_key(fingerprint) for job in request.build_jobs()]
+        foreign = open_store(root / "store")
+        for key in keys:
+            foreign.mark_in_flight(key, owner="dead-peer", ttl_seconds=3600.0)
+        daemon = ServiceDaemon(root, daemon_id="d2", socket=False)
+        daemon._release_reclaimed([record])
+        assert daemon.store.in_flight_digests() == frozenset()
+
+
+class TestSocketTransport:
+    def _serve_in_thread(self, root, **kwargs):
+        daemon = ServiceDaemon(root, poll_interval=0.005, **kwargs)
+        thread = threading.Thread(
+            target=daemon.run, kwargs={"drain": False}, daemon=True
+        )
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if daemon.socket_server is not None and daemon.socket_server.running:
+                return daemon, thread
+            time.sleep(0.01)
+        raise AssertionError("daemon socket never came up")
+
+    def test_socket_roundtrip_matches_direct_run(self, tmp_path, trace_file):
+        root = tmp_path / "svc"
+        ServiceClient(root, create=True)
+        daemon, thread = self._serve_in_thread(root, daemon_id="sock1")
+        try:
+            client = ServiceClient(root, transport="socket")
+            request = _request(trace_file)
+            response = client.submit(request)
+            assert client.using_socket
+            record = client.wait(response["job_id"], timeout=60.0)
+            assert record.state == STATE_DONE
+            served = client.result_text(response["job_id"])
+            direct = run_sweep(
+                load_trace_file(trace_file), request.build_jobs()
+            ).merged().to_json()
+            assert served == direct
+            status = client.status(response["job_id"])
+            assert status["job"]["state"] == STATE_DONE
+            stats = client.stats()
+            assert stats["daemons"]["sock1"]["alive"] is True
+            assert stats["live_daemons"] >= 1
+            client.close()
+        finally:
+            daemon.stop()
+            thread.join(timeout=10)
+
+    def test_socket_and_polling_serve_identical_payloads(
+        self, tmp_path, trace_file
+    ):
+        root = tmp_path / "svc"
+        ServiceClient(root, create=True)
+        daemon, thread = self._serve_in_thread(root, daemon_id="sock2")
+        try:
+            socket_client = ServiceClient(root, transport="socket")
+            files_client = ServiceClient(root, transport="files")
+            request = _request(trace_file)
+            job_id = socket_client.submit(request)["job_id"]
+            files_client.wait(job_id, timeout=60.0, poll_interval=0.01)
+            assert socket_client.result_text(job_id) == files_client.result_text(
+                job_id
+            )
+            socket_client.close()
+        finally:
+            daemon.stop()
+            thread.join(timeout=10)
+
+    def test_auto_transport_falls_back_without_daemon(self, tmp_path, trace_file):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True)  # transport="auto"
+        response = client.submit(_request(trace_file))
+        assert response["state"] == STATE_QUEUED
+        assert not client.using_socket
+
+    def test_socket_transport_requires_live_daemon(self, tmp_path, trace_file):
+        root = tmp_path / "svc"
+        ServiceClient(root, create=True)
+        client = ServiceClient(root, transport="socket")
+        with pytest.raises(ServiceError, match="no live daemon socket"):
+            client.submit(_request(trace_file))
+
+    def test_stale_socket_file_is_skipped(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.sockets_dir().mkdir(parents=True, exist_ok=True)
+        (queue.sockets_dir() / "dead.sock").touch()
+        assert discover_socket(queue) is None
+
+    def test_rejects_unknown_transport(self, tmp_path):
+        with pytest.raises(ServiceError, match="transport"):
+            ServiceClient(tmp_path, create=True, transport="carrier-pigeon")
+
+
+class TestWaitBackoff:
+    def test_wait_returns_promptly_on_completion(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.submit("a" * 64, {})
+        client = ServiceClient(tmp_path, transport="files")
+
+        def finish():
+            time.sleep(0.15)
+            record = queue.claim(daemon_id="d1")
+            queue.complete(record, "payload")
+
+        worker = threading.Thread(target=finish)
+        begin = time.perf_counter()
+        worker.start()
+        record = client.wait("a" * 64, timeout=10.0, poll_interval=0.01)
+        elapsed = time.perf_counter() - begin
+        worker.join()
+        assert record.state == STATE_DONE
+        # Backoff is capped: even with jitter the wait lands well inside
+        # the timeout and reasonably close to the actual completion.
+        assert elapsed < 3.0
+
+    def test_wait_times_out_with_backoff(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.submit("a" * 64, {})
+        client = ServiceClient(tmp_path, transport="files")
+        with pytest.raises(ServiceError, match="timed out"):
+            client.wait("a" * 64, timeout=0.3, poll_interval=0.01)
+
+
+class TestQueueGc:
+    def test_gc_evicts_only_old_finished_jobs(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.submit("a" * 64, {})
+        queue.submit("b" * 64, {})
+        queue.submit("c" * 64, {})
+        record = queue.claim(daemon_id="d1")
+        queue.complete(record, "payload-a")
+        queue.claim(daemon_id="d1")  # leave one running
+        future = time.time() + 1_000_000.0
+        dry = queue.gc(retain_seconds=10.0, dry_run=True, now=future)
+        assert dry["done"] == 1 and dry["results"] == 1
+        assert queue.counts()[STATE_DONE] == 1  # dry run deleted nothing
+        report = queue.gc(retain_seconds=10.0, now=future)
+        assert report["done"] == 1 and report["results"] == 1
+        assert report["bytes"] > 0
+        counts = queue.counts()
+        # Queued and running jobs are never gc targets.
+        assert counts[STATE_DONE] == 0
+        assert counts[STATE_QUEUED] == 1 and counts[STATE_RUNNING] == 1
+        with pytest.raises(ServiceError, match="no job"):
+            queue.find("a" * 64)
+
+    def test_gc_keeps_jobs_inside_retention(self, tmp_path):
+        queue = open_service(tmp_path)
+        queue.submit("a" * 64, {})
+        queue.complete(queue.claim(daemon_id="d1"), "payload")
+        report = queue.gc(retain_seconds=3600.0)
+        assert report["kept"] == 1 and report["done"] == 0
+        assert queue.result_text("a" * 64) == "payload"
+
+    def test_cli_queue_gc(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        queue = open_service(root)
+        queue.submit("a" * 64, {})
+        queue.complete(queue.claim(daemon_id="d1"), "payload")
+        assert main(["queue", "gc", str(root), "--dry-run"]) == 0
+        assert "would evict" in capsys.readouterr().out
+        assert main(["queue", "gc", str(root), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["kept"] == 1
+
+
+class TestHeartbeatHardening:
+    def test_heartbeat_failure_counts_instead_of_crashing(self, tmp_path):
+        import shutil
+
+        daemon = ServiceDaemon(tmp_path / "svc", daemon_id="d1", socket=False)
+        daemon._write_heartbeat()
+        assert daemon.heartbeat_errors == 0
+        # Replace the daemons directory with a plain file: every atomic
+        # rename into it now fails.
+        shutil.rmtree(daemon.queue.daemons_dir())
+        daemon.queue.daemons_dir().write_text("not a directory")
+        daemon._write_heartbeat()
+        daemon._write_heartbeat()
+        assert daemon.heartbeat_errors == 2
+        # Restore the directory: the next heartbeat lands and carries the
+        # error trail for operators.
+        daemon.queue.daemons_dir().unlink()
+        daemon._write_heartbeat()
+        assert daemon.heartbeat_errors == 2
+        payload = json.loads(
+            daemon.queue.heartbeat_path("d1").read_text(encoding="utf-8")
+        )
+        assert payload["heartbeat_errors"] == 2
+        assert payload["last_heartbeat_error"]
+
+    def test_cli_stats_reports_fleet(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        queue = open_service(root)
+        _write_heartbeat(queue, "d1", jobs_done=3)
+        _write_heartbeat(queue, "d2", pid=_dead_pid(), jobs_done=1)
+        assert main(["queue", "stats", str(root)]) == 0
+        output = capsys.readouterr().out
+        assert "fleet: 1/2 daemon(s) live" in output
+        assert "d1: live" in output and "d2: dead" in output
+
+
+class TestFleetEndToEnd:
+    def test_two_daemons_split_disjoint_jobs_byte_identically(
+        self, tmp_path, trace_file
+    ):
+        root = tmp_path / "svc"
+        client = ServiceClient(root, create=True, transport="files")
+        requests = [
+            _request(trace_file, block_sizes=(block,), associativities=(assoc,),
+                     policies=("fifo",))
+            for block in (8, 16) for assoc in (1, 2)
+        ]
+        job_ids = [client.submit(request)["job_id"] for request in requests]
+        store = open_store(root / "store")
+        first = ServiceDaemon(root, store=store, daemon_id="d1",
+                              poll_interval=0.005, socket=False)
+        second = ServiceDaemon(root, store=store, daemon_id="d2",
+                               poll_interval=0.005, socket=False)
+        threads = [
+            threading.Thread(target=daemon.run, kwargs={"drain": True})
+            for daemon in (first, second)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert first.jobs_done + second.jobs_done == len(requests)
+        assert first.jobs_failed + second.jobs_failed == 0
+        loaded = load_trace_file(trace_file)
+        for request, job_id in zip(requests, job_ids):
+            direct = run_sweep(loaded, request.build_jobs()).merged().to_json()
+            assert client.result_text(job_id) == direct
