@@ -170,6 +170,51 @@ def test_micro_rle_collapse_speedup(pr4_report):
     )
 
 
+def test_micro_victim_cache_block_runs_speedup(pr8_report):
+    """The victim-cache run-length path must be >= 1.5x over the raw walk.
+
+    Mechanism engines pay a Python-level DL1 access per *distinct* block;
+    repeats inside a run are guaranteed DL1 hits that never reach the
+    mechanism, so ``run_block_runs`` bulk-accounts them.  On a byte-granular
+    sequential stream (runs of ``block_size`` same-block accesses) the
+    iteration count drops by the run length.  Emitted rows and every
+    mechanism counter must stay byte-identical (the oracle suite pins
+    exactness; this pins the payoff).
+    """
+    trace = SequentialStream(stride=1, region_bytes=1 << 16).generate(200_000, seed=0)
+    options = dict(num_sets=64, associativity=2, block_size=64, entries=4)
+
+    def time_raw():
+        engine = get_engine("victim-cache", **options)
+        start = time.perf_counter()
+        for blocks in trace.iter_block_chunks(engine.offset_bits):
+            engine.run_blocks(blocks)
+        return time.perf_counter() - start, engine.finalize_frame("bench")
+
+    def time_collapsed():
+        engine = get_engine("victim-cache", **options)
+        start = time.perf_counter()
+        for values, counts in trace.iter_block_runs(engine.offset_bits):
+            engine.run_block_runs(values, counts)
+        return time.perf_counter() - start, engine.finalize_frame("bench")
+
+    raw_seconds, raw_frame = min(
+        (time_raw() for _ in range(3)), key=lambda pair: pair[0]
+    )
+    collapsed_seconds, collapsed_frame = min(
+        (time_collapsed() for _ in range(3)), key=lambda pair: pair[0]
+    )
+
+    assert collapsed_frame == raw_frame
+    speedup = raw_seconds / collapsed_seconds
+    pr8_report["pr8_victim_cache_block_runs_speedup"] = speedup
+    assert speedup >= 1.5, (
+        f"victim-cache run-length path ({collapsed_seconds:.3f}s) should be "
+        f">= 1.5x faster than the raw walk ({raw_seconds:.3f}s), "
+        f"got {speedup:.2f}x"
+    )
+
+
 def test_micro_fused_sweep_beats_per_job_baseline(pr4_report):
     """The fused executor must be >= 1.5x over per-job on a 4-job 1M sweep.
 

@@ -95,6 +95,24 @@ def pr7_report():
 
 
 @pytest.fixture(scope="session")
+def pr8_report():
+    """Collector for the mechanism-engine benchmark's measurements.
+
+    Written as ``BENCH_PR8.json`` (path overridable via ``REPRO_BENCH_PR8``)
+    at session end: the victim-cache run-length-collapse speedup over the
+    raw per-access walk — the mechanism engines' counterpart to the
+    BENCH_PR4 collapse pin.
+    """
+    data = {}
+    yield data
+    if data:
+        path = os.environ.get("REPRO_BENCH_PR8", "BENCH_PR8.json")
+        with open(path, "w", encoding="ascii") as handle:
+            json.dump(dict(sorted(data.items())), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+@pytest.fixture(scope="session")
 def experiment_runner() -> ExperimentRunner:
     """The paper's evaluation grid at a Python-tractable trace length."""
     return ExperimentRunner(

@@ -58,6 +58,18 @@ class SingleConfigSimulator:
 
     def access_block(self, block: int, access_type: AccessType = AccessType.READ) -> bool:
         """Simulate one reference given its block address; return ``True`` on a hit."""
+        return self.access_block_detail(block, access_type)[0]
+
+    def access_block_detail(
+        self, block: int, access_type: AccessType = AccessType.READ
+    ) -> tuple:
+        """One block reference with the miss-path detail the mechanism layer needs.
+
+        Returns ``(hit, evicted_block, compulsory)``: the evicted block address
+        (``None`` when nothing left the cache) feeds victim-cache insertion,
+        and ``compulsory`` flags a first-touch miss so a mechanism engine can
+        classify the misses that survive its own probe.
+        """
         cache_set = self._sets[block & self._index_mask]
         before = cache_set.comparisons
         compulsory = False
@@ -73,7 +85,7 @@ class SingleConfigSimulator:
             evicted=evicted is not None,
             comparisons=cache_set.comparisons - before,
         )
-        return hit
+        return hit, evicted, compulsory and not hit
 
     # -- bulk simulation ------------------------------------------------------
 

@@ -71,7 +71,12 @@ from repro.bench.tables import format_table1, format_table2, format_table3, form
 from repro.cache.dinero import DineroStyleRunner
 from repro.core.config import CacheConfig
 from repro.core.results import ResultsFrame, SimulationResults
-from repro.engine import build_grid_jobs, get_engine, run_sweep
+from repro.engine import (
+    build_grid_jobs,
+    build_mechanism_grid_jobs,
+    get_engine,
+    run_sweep,
+)
 from repro.errors import (
     ConfigurationError,
     ExplorationError,
@@ -196,11 +201,17 @@ def _print_result_rows(merged) -> None:
     """The per-configuration text lines shared by ``sweep`` and ``result``."""
     for result in merged:
         config = result.config
-        print(
+        line = (
             f"  S={config.num_sets:<6} A={config.associativity:<3} B={config.block_size:<3} "
             f"policy={config.policy.value:<6} misses={result.misses:<10,} "
             f"miss_rate={result.miss_rate:.4f}"
         )
+        if result.mechanism != "none":
+            line += (
+                f" +{result.mechanism}x{result.mechanism_entries}"
+                f" (mech_hits={result.mechanism_hits:,})"
+            )
+        print(line)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -212,6 +223,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         policies=[token for token in args.policies.split(",") if token.strip()],
         seed=args.seed,
     )
+    mechanisms = [token.strip() for token in args.mechanisms.split(",") if token.strip()]
+    if mechanisms:
+        # Mechanism cells are additive: the base grid still answers
+        # "bigger L1", the mechanism cells answer "VC/MC/SB instead".
+        jobs += build_mechanism_grid_jobs(
+            mechanisms,
+            block_sizes=_parse_int_list(args.block_sizes, "block size"),
+            associativities=_parse_int_list(args.associativities, "associativity"),
+            set_sizes=_set_sizes(args.max_sets),
+            entry_counts=_parse_int_list(args.mechanism_entries, "mechanism entry count"),
+            policies=[token for token in args.policies.split(",") if token.strip()],
+            stream_depth=args.stream_depth,
+            seed=args.seed,
+        )
     store = open_store(args.store) if args.store else None
     outcome = run_sweep(
         trace,
@@ -406,13 +431,20 @@ def _cmd_explore_pareto(args: argparse.Namespace) -> int:
     rows = []
     for index in front.tolist():
         config = frame.config_at(index)
+        label = config.label()
+        mechanism = frame.mechanism_at(index)
+        if mechanism != "none":
+            label += f"+{mechanism}x{int(frame.mechanism_entries[index])}"
         row = {
-            "config": config.label(),
+            "config": label,
             "num_sets": config.num_sets,
             "associativity": config.associativity,
             "block_size": config.block_size,
             "policy": config.policy.value,
         }
+        if mechanism != "none":
+            row["mechanism"] = mechanism
+            row["mechanism_entries"] = int(frame.mechanism_entries[index])
         for name, column in zip(names, columns):
             row[name] = float(column[index])
         rows.append(row)
@@ -500,6 +532,13 @@ def _submit_request(args: argparse.Namespace) -> SweepRequest:
         max_sets=args.max_sets,
         policies=tuple(token for token in args.policies.split(",") if token.strip()),
         seed=args.seed,
+        mechanisms=tuple(
+            token.strip() for token in args.mechanisms.split(",") if token.strip()
+        ),
+        mechanism_entries=tuple(
+            _parse_int_list(args.mechanism_entries, "mechanism entry count")
+        ),
+        stream_depth=args.stream_depth,
     )
 
 
@@ -739,6 +778,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="largest number of sets (sweep doubles from 1)")
     sweep.add_argument("--policies", default="fifo",
                        help="comma-separated replacement policies (fifo, lru, random, plru)")
+    sweep.add_argument("--mechanisms", default="",
+                       help="comma-separated miss-path mechanisms to sweep in "
+                            "addition to the bare grid (victim-cache, "
+                            "miss-cache, stream-buffer)")
+    sweep.add_argument("--mechanism-entries", default="2,4,8,16",
+                       help="comma-separated mechanism buffer entry counts")
+    sweep.add_argument("--stream-depth", type=int, default=4,
+                       help="prefetch depth of each stream buffer")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = serial; results are identical)")
     sweep.add_argument("--seed", type=int, default=0,
@@ -915,6 +962,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="largest number of sets (sweep doubles from 1)")
     submit.add_argument("--policies", default="fifo",
                         help="comma-separated replacement policies (fifo, lru, random, plru)")
+    submit.add_argument("--mechanisms", default="",
+                        help="comma-separated miss-path mechanisms to sweep in "
+                             "addition to the bare grid (victim-cache, "
+                             "miss-cache, stream-buffer)")
+    submit.add_argument("--mechanism-entries", default="2,4,8,16",
+                        help="comma-separated mechanism buffer entry counts")
+    submit.add_argument("--stream-depth", type=int, default=4,
+                        help="prefetch depth of each stream buffer")
     submit.add_argument("--seed", type=int, default=0,
                         help="seed for stochastic policies")
     submit.add_argument("--priority", type=int, default=0,

@@ -46,7 +46,14 @@ from repro.types import ReplacementPolicy
 
 #: Version of the columnar payload written by :meth:`ResultsFrame.to_npz`.
 #: Bump whenever the column set, dtypes or metadata layout changes.
-FRAME_SCHEMA_VERSION = 1
+#: Version 2 added the mechanism key columns (``mechanism_codes``,
+#: ``mechanism_entries``) and counter columns (``mechanism_hits``,
+#: ``mechanism_swaps``, ``mechanism_allocations``); version-1 payloads are
+#: still readable (the new columns zero-fill).
+FRAME_SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`ResultsFrame.read_npz` accepts.
+_READABLE_SCHEMAS = (1, 2)
 
 #: Fixed policy-code table.  Codes index this tuple; it is alphabetical by
 #: policy value, so code order equals the sort order used by
@@ -54,15 +61,48 @@ FRAME_SCHEMA_VERSION = 1
 POLICY_TABLE: Tuple[str, ...] = tuple(sorted(p.value for p in ReplacementPolicy))
 _POLICY_CODES: Dict[str, int] = {value: code for code, value in enumerate(POLICY_TABLE)}
 
+#: Fixed mechanism-code table: ``none`` (a bare cache, code 0 so zero-filled
+#: columns mean "no mechanism") followed by the miss-path mechanisms in
+#: alphabetical order.  Codes index this tuple; frames sort mechanism rows
+#: by code, so ``none`` rows come first for any one configuration.
+MECHANISM_TABLE: Tuple[str, ...] = ("none", "miss-cache", "stream-buffer", "victim-cache")
+_MECHANISM_CODES: Dict[str, int] = {
+    value: code for code, value in enumerate(MECHANISM_TABLE)
+}
+
+
+def mechanism_code(mechanism: str) -> int:
+    """The frame mechanism code of a mechanism name (index into MECHANISM_TABLE)."""
+    try:
+        return _MECHANISM_CODES[str(mechanism)]
+    except KeyError:
+        raise SimulationError(
+            f"unknown mechanism {mechanism!r}; expected one of {MECHANISM_TABLE}"
+        ) from None
+
 
 @dataclass(frozen=True)
 class ConfigResult:
-    """Exact hit/miss outcome for one cache configuration."""
+    """Exact hit/miss outcome for one cache configuration.
+
+    A result is keyed by ``(config, mechanism, mechanism_entries)``: a bare
+    cache keeps the defaults (``mechanism="none"``, zero counters) and a
+    mechanism-augmented run — victim cache, miss cache, stream buffers —
+    reports the same DL1 geometry with its mechanism identity and counters
+    filled in.  ``misses`` is the count of trips to the next memory level
+    *after* the mechanism (so mechanism rows compare directly against a
+    bigger L1's miss column).
+    """
 
     config: CacheConfig
     accesses: int
     misses: int
     compulsory_misses: int = 0
+    mechanism: str = "none"
+    mechanism_entries: int = 0
+    mechanism_hits: int = 0
+    mechanism_swaps: int = 0
+    mechanism_allocations: int = 0
 
     @property
     def hits(self) -> int:
@@ -80,8 +120,13 @@ class ConfigResult:
         return 1.0 - self.miss_rate if self.accesses else 0.0
 
     def as_dict(self) -> Dict[str, object]:
-        """Plain-dictionary view for reporting."""
-        return {
+        """Plain-dictionary view for reporting.
+
+        The mechanism keys appear only on mechanism rows, so bare-cache
+        output (and its JSON serialisation) is unchanged by the mechanism
+        columns' existence.
+        """
+        row: Dict[str, object] = {
             "num_sets": self.config.num_sets,
             "associativity": self.config.associativity,
             "block_size": self.config.block_size,
@@ -93,6 +138,13 @@ class ConfigResult:
             "miss_rate": self.miss_rate,
             "compulsory_misses": self.compulsory_misses,
         }
+        if self.mechanism != "none":
+            row["mechanism"] = self.mechanism
+            row["mechanism_entries"] = self.mechanism_entries
+            row["mechanism_hits"] = self.mechanism_hits
+            row["mechanism_swaps"] = self.mechanism_swaps
+            row["mechanism_allocations"] = self.mechanism_allocations
+        return row
 
 
 def policy_code(policy: Union[str, ReplacementPolicy]) -> int:
@@ -106,6 +158,24 @@ def policy_code(policy: Union[str, ReplacementPolicy]) -> int:
 
 def _policy_code(policy: ReplacementPolicy) -> int:
     return _POLICY_CODES[policy.value]
+
+
+#: Every array column of a :class:`ResultsFrame`, in constructor order.  The
+#: first six are the row key (configuration tuple + mechanism identity).
+_FRAME_COLUMNS: Tuple[str, ...] = (
+    "num_sets",
+    "associativities",
+    "block_sizes",
+    "policy_codes",
+    "accesses",
+    "misses",
+    "compulsory",
+    "mechanism_codes",
+    "mechanism_entries",
+    "mechanism_hits",
+    "mechanism_swaps",
+    "mechanism_allocations",
+)
 
 
 class ResultsFrame:
@@ -122,20 +192,20 @@ class ResultsFrame:
     -------
     ``num_sets``, ``associativities``, ``block_sizes`` (``int64``),
     ``policy_codes`` (``int8``, indices into :data:`POLICY_TABLE`),
-    ``accesses``, ``misses``, ``compulsory`` (``int64``).  Hits are derived
-    (:attr:`hits`); the direct-mapped by-products of a DEW run are ordinary
-    rows with associativity 1 (see :meth:`direct_mapped`).  ``elapsed_seconds``
-    plus the simulator/trace names ride along as scalar metadata.
+    ``accesses``, ``misses``, ``compulsory`` (``int64``),
+    ``mechanism_codes`` (``int8``, indices into :data:`MECHANISM_TABLE`) and
+    ``mechanism_entries``/``mechanism_hits``/``mechanism_swaps``/
+    ``mechanism_allocations`` (``int64``).  Hits are derived (:attr:`hits`);
+    the direct-mapped by-products of a DEW run are ordinary rows with
+    associativity 1 (see :meth:`direct_mapped`); bare-cache rows carry
+    mechanism code 0 (``none``) with zero entries and counters.  The row key
+    is ``(num_sets, associativity, block_size, policy, mechanism,
+    mechanism_entries)``, so one DL1 geometry can coexist with every
+    mechanism/entry-count variant of itself.  ``elapsed_seconds`` plus the
+    simulator/trace names ride along as scalar metadata.
     """
 
-    __slots__ = (
-        "num_sets",
-        "associativities",
-        "block_sizes",
-        "policy_codes",
-        "accesses",
-        "misses",
-        "compulsory",
+    __slots__ = _FRAME_COLUMNS + (
         "elapsed_seconds",
         "simulator_name",
         "trace_name",
@@ -154,6 +224,11 @@ class ResultsFrame:
         elapsed_seconds: float = 0.0,
         simulator_name: str = "dew",
         trace_name: str = "trace",
+        mechanism_codes: Optional[Union[Sequence[int], np.ndarray]] = None,
+        mechanism_entries: Optional[Union[Sequence[int], np.ndarray]] = None,
+        mechanism_hits: Optional[Union[Sequence[int], np.ndarray]] = None,
+        mechanism_swaps: Optional[Union[Sequence[int], np.ndarray]] = None,
+        mechanism_allocations: Optional[Union[Sequence[int], np.ndarray]] = None,
     ) -> None:
         columns = {
             "num_sets": np.asarray(num_sets, dtype=np.int64),
@@ -165,6 +240,18 @@ class ResultsFrame:
             "compulsory": np.asarray(compulsory, dtype=np.int64),
         }
         length = columns["num_sets"].size
+        for name, values, dtype in (
+            ("mechanism_codes", mechanism_codes, np.int8),
+            ("mechanism_entries", mechanism_entries, np.int64),
+            ("mechanism_hits", mechanism_hits, np.int64),
+            ("mechanism_swaps", mechanism_swaps, np.int64),
+            ("mechanism_allocations", mechanism_allocations, np.int64),
+        ):
+            columns[name] = (
+                np.zeros(length, dtype=dtype)
+                if values is None
+                else np.asarray(values, dtype=dtype)
+            )
         for name, column in columns.items():
             if column.ndim != 1:
                 raise SimulationError(f"frame column {name} must be one-dimensional")
@@ -175,6 +262,9 @@ class ResultsFrame:
         codes = columns["policy_codes"]
         if length and (codes.min() < 0 or codes.max() >= len(POLICY_TABLE)):
             raise SimulationError("frame contains an unknown policy code")
+        mech_codes = columns["mechanism_codes"]
+        if length and (mech_codes.min() < 0 or mech_codes.max() >= len(MECHANISM_TABLE)):
+            raise SimulationError("frame contains an unknown mechanism code")
         order = self._canonical_order(columns)
         for name, column in columns.items():
             canonical = np.ascontiguousarray(column[order])
@@ -190,9 +280,13 @@ class ResultsFrame:
     def _canonical_order(columns: Mapping[str, np.ndarray]) -> np.ndarray:
         # lexsort: last key is primary.  Policy codes index an alphabetical
         # table, so sorting by code matches CacheConfig's dataclass order
-        # (num_sets, associativity, block_size, policy value).
+        # (num_sets, associativity, block_size, policy value).  Mechanism
+        # identity sorts by CODE, not name — code 0 is ``none``, so bare-cache
+        # rows always precede mechanism variants of the same configuration.
         return np.lexsort(
             (
+                columns["mechanism_entries"],
+                columns["mechanism_codes"],
                 columns["policy_codes"],
                 columns["block_sizes"],
                 columns["associativities"],
@@ -207,6 +301,8 @@ class ResultsFrame:
                 self.associativities,
                 self.block_sizes,
                 self.policy_codes.astype(np.int64),
+                self.mechanism_codes.astype(np.int64),
+                self.mechanism_entries,
             ],
             axis=1,
         )
@@ -218,9 +314,12 @@ class ResultsFrame:
         same = np.all(keys[1:] == keys[:-1], axis=1)
         if same.any():
             row = int(np.flatnonzero(same)[0]) + 1
-            raise SimulationError(
-                f"duplicate result for configuration {self.config_at(row).label()}"
-            )
+            label = self.config_at(row).label()
+            if int(self.mechanism_codes[row]):
+                label += (
+                    f"+{self.mechanism_at(row)}x{int(self.mechanism_entries[row])}"
+                )
+            raise SimulationError(f"duplicate result for configuration {label}")
 
     # -- container protocol ---------------------------------------------------
 
@@ -235,13 +334,10 @@ class ResultsFrame:
         if not isinstance(other, ResultsFrame):
             return NotImplemented
         return (
-            np.array_equal(self.num_sets, other.num_sets)
-            and np.array_equal(self.associativities, other.associativities)
-            and np.array_equal(self.block_sizes, other.block_sizes)
-            and np.array_equal(self.policy_codes, other.policy_codes)
-            and np.array_equal(self.accesses, other.accesses)
-            and np.array_equal(self.misses, other.misses)
-            and np.array_equal(self.compulsory, other.compulsory)
+            all(
+                np.array_equal(getattr(self, name), getattr(other, name))
+                for name in _FRAME_COLUMNS
+            )
             and self.elapsed_seconds == other.elapsed_seconds
             and self.simulator_name == other.simulator_name
             and self.trace_name == other.trace_name
@@ -264,6 +360,10 @@ class ResultsFrame:
             ReplacementPolicy(POLICY_TABLE[int(self.policy_codes[row])]),
         )
 
+    def mechanism_at(self, row: int) -> str:
+        """The mechanism name keying the given row (``"none"`` for bare rows)."""
+        return MECHANISM_TABLE[int(self.mechanism_codes[row])]
+
     def result_at(self, row: int) -> ConfigResult:
         """The given row as an object-level :class:`ConfigResult`."""
         return ConfigResult(
@@ -271,10 +371,20 @@ class ResultsFrame:
             accesses=int(self.accesses[row]),
             misses=int(self.misses[row]),
             compulsory_misses=int(self.compulsory[row]),
+            mechanism=self.mechanism_at(row),
+            mechanism_entries=int(self.mechanism_entries[row]),
+            mechanism_hits=int(self.mechanism_hits[row]),
+            mechanism_swaps=int(self.mechanism_swaps[row]),
+            mechanism_allocations=int(self.mechanism_allocations[row]),
         )
 
-    def index_of(self, config: CacheConfig) -> Optional[int]:
-        """Row index of ``config``, or ``None`` when absent."""
+    def index_of(
+        self,
+        config: CacheConfig,
+        mechanism: str = "none",
+        mechanism_entries: int = 0,
+    ) -> Optional[int]:
+        """Row index of ``(config, mechanism, entries)``, or ``None`` when absent."""
         if self._key_index is None:
             self._key_index = {
                 (
@@ -282,6 +392,8 @@ class ResultsFrame:
                     int(self.associativities[row]),
                     int(self.block_sizes[row]),
                     int(self.policy_codes[row]),
+                    int(self.mechanism_codes[row]),
+                    int(self.mechanism_entries[row]),
                 ): row
                 for row in range(len(self))
             }
@@ -290,6 +402,8 @@ class ResultsFrame:
             config.associativity,
             config.block_size,
             _policy_code(config.policy),
+            mechanism_code(mechanism),
+            int(mechanism_entries),
         )
         return self._key_index.get(key)
 
@@ -323,6 +437,11 @@ class ResultsFrame:
         "compulsory_misses",
         "miss_rate",
         "hit_rate",
+        "mechanism_entries",
+        "mechanism_hits",
+        "mechanism_swaps",
+        "mechanism_allocations",
+        "mechanism_hit_rate",
     )
 
     def metric_column(self, name: str) -> np.ndarray:
@@ -357,6 +476,21 @@ class ResultsFrame:
             populated = self.accesses > 0
             np.subtract(1.0, self.miss_rate_column(), out=rates, where=populated)
             return rates
+        if name == "mechanism_entries":
+            return self.mechanism_entries
+        if name == "mechanism_hits":
+            return self.mechanism_hits
+        if name == "mechanism_swaps":
+            return self.mechanism_swaps
+        if name == "mechanism_allocations":
+            return self.mechanism_allocations
+        if name == "mechanism_hit_rate":
+            # Fraction of would-be DL1 misses the mechanism served: hits over
+            # (hits + remaining misses).  0 for bare rows / empty traces.
+            rates = np.zeros(len(self), dtype=np.float64)
+            probes = self.mechanism_hits + self.misses
+            np.divide(self.mechanism_hits, probes, out=rates, where=probes > 0)
+            return rates
         raise SimulationError(
             f"unknown metric column {name!r}; expected one of {self.METRIC_NAMES}"
         )
@@ -386,6 +520,11 @@ class ResultsFrame:
             elapsed_seconds=self.elapsed_seconds,
             simulator_name=self.simulator_name,
             trace_name=self.trace_name,
+            mechanism_codes=self.mechanism_codes[mask],
+            mechanism_entries=self.mechanism_entries[mask],
+            mechanism_hits=self.mechanism_hits[mask],
+            mechanism_swaps=self.mechanism_swaps[mask],
+            mechanism_allocations=self.mechanism_allocations[mask],
         )
 
     def with_metadata(
@@ -396,15 +535,7 @@ class ResultsFrame:
     ) -> "ResultsFrame":
         """A copy of this frame with replaced scalar metadata (arrays shared)."""
         clone = object.__new__(ResultsFrame)
-        for name in (
-            "num_sets",
-            "associativities",
-            "block_sizes",
-            "policy_codes",
-            "accesses",
-            "misses",
-            "compulsory",
-        ):
+        for name in _FRAME_COLUMNS:
             setattr(clone, name, getattr(self, name))
         clone.elapsed_seconds = (
             self.elapsed_seconds if elapsed_seconds is None else float(elapsed_seconds)
@@ -429,6 +560,11 @@ class ResultsFrame:
         elapsed_seconds: float,
         simulator_name: str,
         trace_name: str,
+        mechanism_codes: np.ndarray,
+        mechanism_entries: np.ndarray,
+        mechanism_hits: np.ndarray,
+        mechanism_swaps: np.ndarray,
+        mechanism_allocations: np.ndarray,
     ) -> "ResultsFrame":
         """Internal fast path: columns already sorted canonically and unique.
 
@@ -444,6 +580,13 @@ class ResultsFrame:
             "accesses": np.ascontiguousarray(accesses, dtype=np.int64),
             "misses": np.ascontiguousarray(misses, dtype=np.int64),
             "compulsory": np.ascontiguousarray(compulsory, dtype=np.int64),
+            "mechanism_codes": np.ascontiguousarray(mechanism_codes, dtype=np.int8),
+            "mechanism_entries": np.ascontiguousarray(mechanism_entries, dtype=np.int64),
+            "mechanism_hits": np.ascontiguousarray(mechanism_hits, dtype=np.int64),
+            "mechanism_swaps": np.ascontiguousarray(mechanism_swaps, dtype=np.int64),
+            "mechanism_allocations": np.ascontiguousarray(
+                mechanism_allocations, dtype=np.int64
+            ),
         }
         for name, column in columns.items():
             column.setflags(write=False)
@@ -475,6 +618,11 @@ class ResultsFrame:
             elapsed_seconds=elapsed_seconds,
             simulator_name=simulator_name,
             trace_name=trace_name,
+            mechanism_codes=[mechanism_code(r.mechanism) for r in rows],
+            mechanism_entries=[r.mechanism_entries for r in rows],
+            mechanism_hits=[r.mechanism_hits for r in rows],
+            mechanism_swaps=[r.mechanism_swaps for r in rows],
+            mechanism_allocations=[r.mechanism_allocations for r in rows],
         )
 
     @classmethod
@@ -507,6 +655,22 @@ class ResultsFrame:
                 elapsed_seconds=elapsed_seconds,
                 simulator_name=simulator_name,
                 trace_name=trace_name,
+                mechanism_codes=[
+                    mechanism_code(str(row.get("mechanism", "none")))
+                    for row in row_list
+                ],
+                mechanism_entries=[
+                    int(row.get("mechanism_entries", 0)) for row in row_list
+                ],
+                mechanism_hits=[
+                    int(row.get("mechanism_hits", 0)) for row in row_list
+                ],
+                mechanism_swaps=[
+                    int(row.get("mechanism_swaps", 0)) for row in row_list
+                ],
+                mechanism_allocations=[
+                    int(row.get("mechanism_allocations", 0)) for row in row_list
+                ],
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SimulationError(f"malformed result row: {exc}") from exc
@@ -530,30 +694,25 @@ class ResultsFrame:
         if not frames:
             return cls([], [], [], [], [], [], [],
                        simulator_name=simulator_name, trace_name=trace_name)
-        keys = np.concatenate(
-            [
-                np.stack(
-                    [
-                        f.num_sets,
-                        f.associativities,
-                        f.block_sizes,
-                        f.policy_codes.astype(np.int64),
-                    ],
-                    axis=1,
-                )
-                for f in frames
-            ]
-        )
+        keys = np.concatenate([f._key_matrix() for f in frames])
         accesses = np.concatenate([f.accesses for f in frames])
         misses = np.concatenate([f.misses for f in frames])
         compulsory = np.concatenate([f.compulsory for f in frames])
+        mech_hits = np.concatenate([f.mechanism_hits for f in frames])
+        mech_swaps = np.concatenate([f.mechanism_swaps for f in frames])
+        mech_allocs = np.concatenate([f.mechanism_allocations for f in frames])
         # Stable sort by key keeps the earliest frame's row first among
         # duplicates, preserving job-order merge semantics.
-        order = np.lexsort((keys[:, 3], keys[:, 2], keys[:, 1], keys[:, 0]))
+        order = np.lexsort(
+            (keys[:, 5], keys[:, 4], keys[:, 3], keys[:, 2], keys[:, 1], keys[:, 0])
+        )
         keys = keys[order]
         accesses = accesses[order]
         misses = misses[order]
         compulsory = compulsory[order]
+        mech_hits = mech_hits[order]
+        mech_swaps = mech_swaps[order]
+        mech_allocs = mech_allocs[order]
         if keys.shape[0] > 1:
             same = np.all(keys[1:] == keys[:-1], axis=1)
             conflict = same & (
@@ -567,8 +726,13 @@ class ResultsFrame:
                     int(keys[row, 2]),
                     ReplacementPolicy(POLICY_TABLE[int(keys[row, 3])]),
                 )
+                label = config.label()
+                if keys[row, 4]:
+                    label += (
+                        f"+{MECHANISM_TABLE[int(keys[row, 4])]}x{int(keys[row, 5])}"
+                    )
                 raise VerificationError(
-                    f"sweep jobs disagree on {config.label()}: "
+                    f"sweep jobs disagree on {label}: "
                     f"{misses[row]}/{accesses[row]} vs {misses[row + 1]}/{accesses[row + 1]}"
                 )
             keep = np.ones(keys.shape[0], dtype=bool)
@@ -577,6 +741,9 @@ class ResultsFrame:
             accesses = accesses[keep]
             misses = misses[keep]
             compulsory = compulsory[keep]
+            mech_hits = mech_hits[keep]
+            mech_swaps = mech_swaps[keep]
+            mech_allocs = mech_allocs[keep]
         # Already sorted and deduplicated above: take the fast path instead
         # of paying the constructor's re-sort and duplicate scan again.
         return cls._from_canonical(
@@ -590,6 +757,11 @@ class ResultsFrame:
             elapsed_seconds=sum(f.elapsed_seconds for f in frames),
             simulator_name=simulator_name,
             trace_name=trace_name,
+            mechanism_codes=keys[:, 4],
+            mechanism_entries=keys[:, 5],
+            mechanism_hits=mech_hits,
+            mechanism_swaps=mech_swaps,
+            mechanism_allocations=mech_allocs,
         )
 
     # -- serialization --------------------------------------------------------
@@ -607,6 +779,7 @@ class ResultsFrame:
             "simulator_name": self.simulator_name,
             "trace_name": self.trace_name,
             "policy_table": list(POLICY_TABLE),
+            "mechanism_table": list(MECHANISM_TABLE),
         }
         if extra_metadata:
             metadata["extra"] = extra_metadata
@@ -619,6 +792,11 @@ class ResultsFrame:
             accesses=self.accesses,
             misses=self.misses,
             compulsory=self.compulsory,
+            mechanism_codes=self.mechanism_codes,
+            mechanism_entries=self.mechanism_entries,
+            mechanism_hits=self.mechanism_hits,
+            mechanism_swaps=self.mechanism_swaps,
+            mechanism_allocations=self.mechanism_allocations,
             metadata=np.asarray(json.dumps(metadata, sort_keys=True)),
         )
 
@@ -636,10 +814,10 @@ class ResultsFrame:
                 metadata = json.loads(str(payload["metadata"][()]))
             except (KeyError, ValueError) as exc:
                 raise SimulationError(f"results payload has no readable metadata: {exc}") from exc
-            if metadata.get("schema") != FRAME_SCHEMA_VERSION:
+            if metadata.get("schema") not in _READABLE_SCHEMAS:
                 raise SimulationError(
                     f"unsupported results schema {metadata.get('schema')!r} "
-                    f"(this build reads version {FRAME_SCHEMA_VERSION})"
+                    f"(this build reads versions {_READABLE_SCHEMAS})"
                 )
             stored_table = metadata.get("policy_table", list(POLICY_TABLE))
             codes = payload["policy_codes"]
@@ -652,6 +830,31 @@ class ResultsFrame:
                 except KeyError as exc:
                     raise SimulationError(f"results payload uses unknown policy {exc}") from exc
                 codes = remap[codes]
+            mechanism_columns: Dict[str, Optional[np.ndarray]] = {
+                "mechanism_codes": None,
+                "mechanism_entries": None,
+                "mechanism_hits": None,
+                "mechanism_swaps": None,
+                "mechanism_allocations": None,
+            }
+            if "mechanism_codes" in payload:
+                for name in mechanism_columns:
+                    mechanism_columns[name] = payload[name]
+                stored_mechs = metadata.get("mechanism_table", list(MECHANISM_TABLE))
+                if list(stored_mechs) != list(MECHANISM_TABLE):
+                    # Remap codes written under a different mechanism table.
+                    try:
+                        remap = np.asarray(
+                            [_MECHANISM_CODES[value] for value in stored_mechs],
+                            dtype=np.int8,
+                        )
+                    except KeyError as exc:
+                        raise SimulationError(
+                            f"results payload uses unknown mechanism {exc}"
+                        ) from exc
+                    mechanism_columns["mechanism_codes"] = remap[
+                        mechanism_columns["mechanism_codes"]
+                    ]
             frame = cls(
                 payload["num_sets"],
                 payload["associativities"],
@@ -663,6 +866,7 @@ class ResultsFrame:
                 elapsed_seconds=float(metadata.get("elapsed_seconds", 0.0)),
                 simulator_name=str(metadata.get("simulator_name", "dew")),
                 trace_name=str(metadata.get("trace_name", "trace")),
+                **mechanism_columns,
             )
         return frame, metadata.get("extra", {})
 
@@ -692,7 +896,22 @@ class SimulationResults:
     objects are materialised only on demand; when built incrementally via
     :meth:`add` the columnar form is materialised on demand via
     :meth:`frame`.  Either way the object-level API is unchanged.
+
+    Rows are keyed by ``(config, mechanism, mechanism_entries)`` — a bare
+    cache and its mechanism-augmented variants are distinct rows of the same
+    run.  Config-only lookups (:meth:`get`, ``in``, ``[]``) address the bare
+    row; pass ``mechanism``/``mechanism_entries`` to address the others.
     """
+
+    #: Internal row key: config plus mechanism identity (code keeps sort
+    #: order identical to the frame's canonical order).
+    @staticmethod
+    def _key(result: ConfigResult) -> Tuple[CacheConfig, int, int]:
+        return (
+            result.config,
+            mechanism_code(result.mechanism),
+            result.mechanism_entries,
+        )
 
     def __init__(
         self,
@@ -702,7 +921,9 @@ class SimulationResults:
         simulator_name: str = "dew",
         trace_name: str = "trace",
     ) -> None:
-        self._by_config: Optional[Dict[CacheConfig, ConfigResult]] = {}
+        self._by_config: Optional[
+            Dict[Tuple[CacheConfig, int, int], ConfigResult]
+        ] = {}
         self._frame: Optional[ResultsFrame] = None
         for result in results or []:
             self.add(result)
@@ -747,20 +968,21 @@ class SimulationResults:
             )
         return self._frame
 
-    def _mapping(self) -> Dict[CacheConfig, ConfigResult]:
+    def _mapping(self) -> Dict[Tuple[CacheConfig, int, int], ConfigResult]:
         if self._by_config is None:
             assert self._frame is not None
-            self._by_config = {result.config: result for result in self._frame}
+            self._by_config = {self._key(result): result for result in self._frame}
         return self._by_config
 
     # -- container protocol ---------------------------------------------------
 
     def add(self, result: ConfigResult) -> None:
-        """Insert one per-configuration result (configurations must be unique)."""
+        """Insert one per-configuration result (row keys must be unique)."""
         mapping = self._mapping()
-        if result.config in mapping:
+        key = self._key(result)
+        if key in mapping:
             raise SimulationError(f"duplicate result for configuration {result.config.label()}")
-        mapping[result.config] = result
+        mapping[key] = result
         self._frame = None
 
     def __len__(self) -> int:
@@ -773,13 +995,10 @@ class SimulationResults:
         if self._by_config is None:
             assert self._frame is not None
             return iter(self._frame)
-        return iter(sorted(self._by_config.values(), key=lambda r: r.config))
+        return iter(sorted(self._by_config.values(), key=self._key))
 
     def __contains__(self, config: CacheConfig) -> bool:
-        if self._by_config is None:
-            assert self._frame is not None
-            return self._frame.index_of(config) is not None
-        return config in self._by_config
+        return self.get(config) is not None
 
     def __getitem__(self, config: CacheConfig) -> ConfigResult:
         result = self.get(config)
@@ -788,21 +1007,29 @@ class SimulationResults:
         return result
 
     def configs(self) -> List[CacheConfig]:
-        """All configurations covered by this run, sorted."""
+        """All configurations covered by this run, sorted (duplicates kept
+        once per mechanism variant)."""
         if self._by_config is None:
             assert self._frame is not None
             return [self._frame.config_at(row) for row in range(len(self._frame))]
-        return sorted(self._by_config)
+        return [key[0] for key in sorted(self._by_config)]
 
     # -- lookups --------------------------------------------------------------
 
-    def get(self, config: CacheConfig) -> Optional[ConfigResult]:
-        """Result for ``config`` or ``None``."""
+    def get(
+        self,
+        config: CacheConfig,
+        mechanism: str = "none",
+        mechanism_entries: int = 0,
+    ) -> Optional[ConfigResult]:
+        """Result for ``(config, mechanism, entries)`` or ``None``."""
         if self._by_config is None:
             assert self._frame is not None
-            row = self._frame.index_of(config)
+            row = self._frame.index_of(config, mechanism, mechanism_entries)
             return None if row is None else self._frame.result_at(row)
-        return self._by_config.get(config)
+        return self._by_config.get(
+            (config, mechanism_code(mechanism), int(mechanism_entries))
+        )
 
     def misses(self, config: CacheConfig) -> int:
         """Miss count for ``config``."""
@@ -881,7 +1108,9 @@ class SimulationResults:
         """
         differences = []
         for result in self:
-            other_result = other.get(result.config)
+            other_result = other.get(
+                result.config, result.mechanism, result.mechanism_entries
+            )
             if other_result is None:
                 continue
             if other_result.misses != result.misses or other_result.accesses != result.accesses:

@@ -34,8 +34,14 @@ from repro.engine.sweep import (
     SweepJob,
     SweepOutcome,
     build_grid_jobs,
+    build_mechanism_grid_jobs,
     merge_results,
     run_sweep,
+)
+from repro.mechanisms import (
+    MissCacheEngine,
+    StreamBufferEngine,
+    VictimCacheEngine,
 )
 
 __all__ = [
@@ -55,10 +61,14 @@ __all__ = [
     "JanapsatyaEngine",
     "CrcbJanapsatyaEngine",
     "StackDistanceLruEngine",
+    "MissCacheEngine",
+    "StreamBufferEngine",
+    "VictimCacheEngine",
     "FusedSweepExecutor",
     "SweepJob",
     "SweepOutcome",
     "build_grid_jobs",
+    "build_mechanism_grid_jobs",
     "merge_results",
     "run_sweep",
 ]

@@ -96,7 +96,9 @@ class DewEngine(Engine):
     def run_blocks(self, blocks: BlockChunk, access_types: TypeChunk = None) -> None:
         self.simulator.run_blocks(blocks)
 
-    def run_block_runs(self, values: BlockChunk, counts: BlockChunk) -> None:
+    def run_block_runs(
+        self, values: BlockChunk, counts: BlockChunk, access_types: TypeChunk = None
+    ) -> None:
         self.simulator.run_block_runs(values, counts)
 
     def finalize(self, trace_name: str = "trace") -> SimulationResults:
@@ -206,7 +208,9 @@ class JanapsatyaEngine(Engine):
     def run_blocks(self, blocks: BlockChunk, access_types: TypeChunk = None) -> None:
         self.simulator.run_blocks(blocks)
 
-    def run_block_runs(self, values: BlockChunk, counts: BlockChunk) -> None:
+    def run_block_runs(
+        self, values: BlockChunk, counts: BlockChunk, access_types: TypeChunk = None
+    ) -> None:
         self.simulator.run_block_runs(values, counts)
 
     def finalize(self, trace_name: str = "trace") -> SimulationResults:
@@ -252,7 +256,9 @@ class CrcbJanapsatyaEngine(JanapsatyaEngine):
         if kept.size:
             self.simulator.run_blocks(kept)
 
-    def run_block_runs(self, values: BlockChunk, counts: BlockChunk) -> None:
+    def run_block_runs(
+        self, values: BlockChunk, counts: BlockChunk, access_types: TypeChunk = None
+    ) -> None:
         # A run-length-collapsed chunk is exactly what CRCB pruning computes:
         # each run's head is the one access the simulator sees, the rest of
         # the run is pruned (and folded back in as universal hits at

@@ -82,11 +82,15 @@ class Engine(abc.ABC):
         self,
         values: Union[Sequence[int], np.ndarray],
         counts: Union[Sequence[int], np.ndarray],
+        access_types: Optional[Union[Sequence[int], np.ndarray]] = None,
     ) -> None:
         """Simulate a run-length-collapsed chunk (``counts[i]`` accesses to
         ``values[i]``).
 
-        Only meaningful on engines advertising
+        ``access_types``, when given, carries one type code per *run* (the
+        head access's type); engines that advertise both
+        :attr:`supports_block_runs` and :attr:`wants_access_types` receive it
+        from the fused executor.  Only meaningful on engines advertising
         :attr:`supports_block_runs`; the default raises so a mis-routed
         collapsed chunk can never be silently mis-simulated.
         """

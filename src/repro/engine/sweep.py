@@ -50,7 +50,7 @@ from typing import (
 import numpy as np
 
 from repro.core.config import CacheConfig
-from repro.core.results import ResultsFrame, SimulationResults
+from repro.core.results import ResultsFrame, SimulationResults, mechanism_code
 from repro.engine.base import Engine, get_engine
 from repro.engine.shmplane import (
     AttachedPlane,
@@ -59,7 +59,7 @@ from repro.engine.shmplane import (
     SharedTracePlane,
     TraceChunkSource,
 )
-from repro.errors import EngineError, VerificationError
+from repro.errors import EngineError, SimulationError, VerificationError
 from repro.store import ResultStore, StoreKey, open_store
 from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 from repro.types import ReplacementPolicy
@@ -204,6 +204,77 @@ def build_grid_jobs(
     return jobs
 
 
+def build_mechanism_grid_jobs(
+    mechanisms: Sequence[str],
+    block_sizes: Sequence[int],
+    associativities: Sequence[int],
+    set_sizes: Sequence[int],
+    entry_counts: Sequence[int] = (2, 4, 8, 16),
+    policies: Sequence[Union[str, ReplacementPolicy]] = (ReplacementPolicy.FIFO,),
+    stream_depth: int = 4,
+    seed: int = 0,
+) -> List[SweepJob]:
+    """Decompose a mechanism grid into sweep jobs (one per cell).
+
+    Each job simulates one DL1 configuration augmented with one mechanism at
+    one entry count, so the full grid is ``mechanisms x block sizes x
+    associativities x set counts x policies x entry counts``.  Mechanism
+    engines are single-configuration (the mechanism buffer's state depends
+    on the exact DL1 eviction stream), so no multi-configuration collapse
+    applies — but they ride the fused executor's shared decode and
+    run-length fast paths like any other job.  An empty ``mechanisms`` list
+    yields no jobs, which is how callers make mechanism cells purely
+    additive to a base grid.
+    """
+    if not mechanisms:
+        return []
+    if not block_sizes or not associativities or not set_sizes or not entry_counts:
+        raise EngineError("sweep grid dimensions must be non-empty")
+    if not policies:
+        raise EngineError("sweep grid dimensions must be non-empty")
+    mech_list: List[str] = []
+    for name in mechanisms:
+        key = str(name).strip().lower()
+        try:
+            code = mechanism_code(key)
+        except SimulationError as exc:
+            raise EngineError(str(exc)) from None
+        if code == 0:
+            raise EngineError(
+                "'none' is the bare-cache marker, not a mechanism engine; "
+                "omit it from the mechanism grid"
+            )
+        if key not in mech_list:
+            mech_list.append(key)
+    policy_list: List[ReplacementPolicy] = []
+    for raw_policy in policies:
+        try:
+            policy = ReplacementPolicy.parse(raw_policy)
+        except ValueError as exc:
+            raise EngineError(str(exc)) from None
+        if policy not in policy_list:
+            policy_list.append(policy)
+    jobs: List[SweepJob] = []
+    for mechanism in sorted(mech_list):
+        for block_size in sorted(set(int(b) for b in block_sizes)):
+            for associativity in sorted(set(int(a) for a in associativities)):
+                for num_sets in sorted(set(int(s) for s in set_sizes)):
+                    for policy in policy_list:
+                        for entries in sorted(set(int(e) for e in entry_counts)):
+                            options: Dict[str, Any] = {
+                                "num_sets": num_sets,
+                                "associativity": associativity,
+                                "block_size": block_size,
+                                "policy": policy,
+                                "entries": entries,
+                                "seed": seed,
+                            }
+                            if mechanism == "stream-buffer":
+                                options["depth"] = int(stream_depth)
+                            jobs.append(SweepJob.make(mechanism, **options))
+    return jobs
+
+
 def merge_results(
     per_job_results: Iterable[SimulationResults],
     simulator_name: str = "sweep",
@@ -219,12 +290,17 @@ def merge_results(
     for results in per_job_results:
         merged.elapsed_seconds += results.elapsed_seconds
         for result in results:
-            existing = merged.get(result.config)
+            existing = merged.get(
+                result.config, result.mechanism, result.mechanism_entries
+            )
             if existing is None:
                 merged.add(result)
             elif (existing.misses, existing.accesses) != (result.misses, result.accesses):
+                label = result.config.label()
+                if result.mechanism != "none":
+                    label += f"+{result.mechanism}x{result.mechanism_entries}"
                 raise VerificationError(
-                    f"sweep jobs disagree on {result.config.label()}: "
+                    f"sweep jobs disagree on {label}: "
                     f"{existing.misses}/{existing.accesses} vs {result.misses}/{result.accesses}"
                 )
     return merged
@@ -374,11 +450,24 @@ class FusedSweepExecutor:
                     engines[index].wants_access_types for index in members
                 ):
                     type_chunk = source.types(chunk_index)
+                run_head_types: Optional[np.ndarray] = None
                 for index in members:
                     engine = engines[index]
                     begin = time.perf_counter()
                     if runs is not None and engine.supports_block_runs:
-                        engine.run_block_runs(runs[0], runs[1])
+                        if engine.wants_access_types:
+                            # Collapsed runs carry one type code per run —
+                            # the head access's type (each run's tail
+                            # accesses are guaranteed hits that never reach
+                            # the type-sensitive miss path).  Computed once
+                            # per (chunk, block size) and shared.
+                            if run_head_types is None:
+                                counts = np.asarray(runs[1])
+                                heads = np.cumsum(counts) - counts
+                                run_head_types = type_chunk[heads]
+                            engine.run_block_runs(runs[0], runs[1], run_head_types)
+                        else:
+                            engine.run_block_runs(runs[0], runs[1])
                     elif engine.wants_access_types:
                         engine.run_blocks(blocks, type_chunk)
                     else:

@@ -87,11 +87,20 @@ class TuningOutcome:
     objective_value: float
     candidates_considered: int
     candidates_admitted: int
+    mechanism: str = "none"
+    mechanism_entries: int = 0
+
+    def label(self) -> str:
+        """Cache label plus the mechanism rider, matching the pareto output."""
+        label = self.best.config.label()
+        if self.mechanism != "none":
+            label += f"+{self.mechanism}x{self.mechanism_entries}"
+        return label
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dictionary view for reporting."""
-        return {
-            "config": self.best.config.label(),
+        row: Dict[str, object] = {
+            "config": self.label(),
             "total_size": self.best.config.total_size,
             "miss_rate": self.best.miss_rate,
             "total_energy_nj": self.estimate.total_energy_nj,
@@ -100,6 +109,10 @@ class TuningOutcome:
             "candidates_considered": self.candidates_considered,
             "candidates_admitted": self.candidates_admitted,
         }
+        if self.mechanism != "none":
+            row["mechanism"] = self.mechanism
+            row["mechanism_entries"] = self.mechanism_entries
+        return row
 
 
 def _coerce_frame(
@@ -214,6 +227,8 @@ class CacheTuner:
             objective_value=float(objective[winner]),
             candidates_considered=len(frame),
             candidates_admitted=int(rows.size),
+            mechanism=frame.mechanism_at(best_row),
+            mechanism_entries=int(frame.mechanism_entries[best_row]),
         )
 
     def rank_frame(
@@ -235,6 +250,8 @@ class CacheTuner:
                     objective_value=float(objective[int(position)]),
                     candidates_considered=len(frame),
                     candidates_admitted=int(rows.size),
+                    mechanism=frame.mechanism_at(row),
+                    mechanism_entries=int(frame.mechanism_entries[row]),
                 )
             )
         return outcomes

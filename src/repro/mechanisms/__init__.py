@@ -1,0 +1,30 @@
+"""Miss-path mechanism engines: victim cache, miss cache, stream buffers.
+
+Each engine composes the existing single-configuration DL1 simulator
+(:class:`repro.cache.simulator.SingleConfigSimulator`) with a small buffer
+probed on DL1 misses, and reports one :class:`~repro.core.results.ResultsFrame`
+row keyed by ``(config, mechanism, entries)`` — so ``repro-dew explore
+pareto/tune`` can rank "victim cache vs miss cache vs bigger L1" directly.
+
+Importing this package registers the engines (``victim-cache``,
+``miss-cache``, ``stream-buffer``) in the engine registry.
+"""
+
+from repro.mechanisms.buffers import FullyAssociativeBuffer, StreamBufferSet
+from repro.mechanisms.engines import (
+    MECHANISM_ENGINE_NAMES,
+    MechanismEngine,
+    MissCacheEngine,
+    StreamBufferEngine,
+    VictimCacheEngine,
+)
+
+__all__ = [
+    "FullyAssociativeBuffer",
+    "StreamBufferSet",
+    "MECHANISM_ENGINE_NAMES",
+    "MechanismEngine",
+    "MissCacheEngine",
+    "StreamBufferEngine",
+    "VictimCacheEngine",
+]

@@ -1,0 +1,131 @@
+"""Small buffer structures backing the mechanism engines.
+
+Both structures store *block addresses* (``address >> log2(block_size)``),
+matching the rest of the pipeline, and both are deliberately tiny — mechanism
+buffers in the source material hold {2, 4, 8, 16} entries, so O(entries)
+scans are cheaper than any clever indexing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+class FullyAssociativeBuffer:
+    """A fully-associative LRU buffer of block addresses.
+
+    The shared storage of the victim cache (which holds DL1 evictions and
+    swaps on hit) and the miss cache (which holds recently missed blocks,
+    tags only).  Iteration order is LRU-first.
+    """
+
+    __slots__ = ("entries", "_blocks")
+
+    def __init__(self, entries: int) -> None:
+        if int(entries) < 1:
+            raise ConfigurationError(
+                f"mechanism buffer needs at least one entry, got {entries}"
+            )
+        self.entries = int(entries)
+        self._blocks: "OrderedDict[int, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._blocks
+
+    def resident_blocks(self) -> List[int]:
+        """Blocks currently held, LRU first."""
+        return list(self._blocks)
+
+    def touch(self, block: int) -> None:
+        """Mark a resident block most-recently used."""
+        self._blocks.move_to_end(block)
+
+    def remove(self, block: int) -> None:
+        """Drop a resident block (victim-cache promotion to DL1)."""
+        del self._blocks[block]
+
+    def insert(self, block: int) -> Optional[int]:
+        """Insert ``block`` at MRU; return the LRU block evicted to make room.
+
+        Re-inserting a resident block just refreshes its recency.
+        """
+        evicted = None
+        if block not in self._blocks and len(self._blocks) >= self.entries:
+            evicted, _ = self._blocks.popitem(last=False)
+        self._blocks[block] = None
+        self._blocks.move_to_end(block)
+        return evicted
+
+    def reset(self) -> None:
+        """Empty the buffer."""
+        self._blocks.clear()
+
+
+class StreamBufferSet:
+    """``entries`` FIFO prefetch buffers of ``depth`` sequential blocks.
+
+    Each buffer holds the next ``depth`` block addresses of one stream.  Only
+    buffer *heads* are probed (Jouppi's stream buffer): a head hit pops the
+    head, advances the stream by one prefetched block, and marks the buffer
+    most-recently used; allocation replaces the least-recently-used buffer.
+    Probing checks the most-recently-used buffer first, so two buffers that
+    converge on the same head resolve deterministically.
+    """
+
+    __slots__ = ("entries", "depth", "_queues")
+
+    def __init__(self, entries: int, depth: int = 4) -> None:
+        if int(entries) < 1:
+            raise ConfigurationError(
+                f"stream buffer set needs at least one buffer, got {entries}"
+            )
+        if int(depth) < 1:
+            raise ConfigurationError(
+                f"stream buffer depth must be positive, got {depth}"
+            )
+        self.entries = int(entries)
+        self.depth = int(depth)
+        # LRU order: index 0 is least-recently used, the end most-recently.
+        self._queues: List[Deque[int]] = []
+
+    def __len__(self) -> int:
+        return len(self._queues)
+
+    def heads(self) -> List[Optional[int]]:
+        """Current head block of every buffer, LRU first."""
+        return [queue[0] if queue else None for queue in self._queues]
+
+    def probe(self, block: int) -> bool:
+        """Head-probe all buffers; on a hit, consume the head and advance.
+
+        Returns ``True`` when some buffer's head matched.  The matched
+        buffer pops its head, appends the next sequential block of its
+        stream, and becomes most-recently used.
+        """
+        for index in range(len(self._queues) - 1, -1, -1):
+            queue = self._queues[index]
+            if queue and queue[0] == block:
+                queue.popleft()
+                queue.append(block + self.depth)
+                self._queues.append(self._queues.pop(index))
+                return True
+        return False
+
+    def allocate(self, block: int) -> None:
+        """Start a new stream at ``block + 1``, replacing the LRU buffer."""
+        queue: Deque[int] = deque(
+            range(block + 1, block + 1 + self.depth), maxlen=None
+        )
+        if len(self._queues) >= self.entries:
+            self._queues.pop(0)
+        self._queues.append(queue)
+
+    def reset(self) -> None:
+        """Drop every stream."""
+        self._queues.clear()

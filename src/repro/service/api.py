@@ -47,7 +47,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.results import ResultsFrame
-from repro.engine.sweep import SweepJob, build_grid_jobs
+from repro.engine.sweep import SweepJob, build_grid_jobs, build_mechanism_grid_jobs
 from repro.errors import ServiceError
 from repro.service.queue import (
     DEFAULT_EVENT_RETAIN_SECONDS,
@@ -109,6 +109,9 @@ class SweepRequest:
     max_sets: int = DEFAULT_MAX_SETS
     policies: Tuple[str, ...] = ("fifo",)
     seed: int = 0
+    mechanisms: Tuple[str, ...] = ()
+    mechanism_entries: Tuple[int, ...] = (2, 4, 8, 16)
+    stream_depth: int = 4
 
     def to_wire(self) -> Dict[str, Any]:
         """JSON-able request payload stored in the job record."""
@@ -120,11 +123,19 @@ class SweepRequest:
             "max_sets": self.max_sets,
             "policies": list(self.policies),
             "seed": self.seed,
+            "mechanisms": list(self.mechanisms),
+            "mechanism_entries": list(self.mechanism_entries),
+            "stream_depth": self.stream_depth,
         }
 
     @classmethod
     def from_wire(cls, payload: Dict[str, Any]) -> "SweepRequest":
-        """Inverse of :meth:`to_wire`."""
+        """Inverse of :meth:`to_wire`.
+
+        The mechanism fields read tolerantly (``.get`` with the dataclass
+        defaults), so mechanism-free payloads written by older builds stay
+        acceptable without a wire-version bump.
+        """
         if payload.get("wire") != SERVICE_WIRE_VERSION:
             raise ServiceError(
                 f"request uses wire version {payload.get('wire')!r}; "
@@ -137,17 +148,34 @@ class SweepRequest:
             max_sets=int(payload.get("max_sets", DEFAULT_MAX_SETS)),
             policies=tuple(str(p) for p in payload["policies"]),
             seed=int(payload.get("seed", 0)),
+            mechanisms=tuple(str(m) for m in payload.get("mechanisms", ())),
+            mechanism_entries=tuple(
+                int(e) for e in payload.get("mechanism_entries", (2, 4, 8, 16))
+            ),
+            stream_depth=int(payload.get("stream_depth", 4)),
         )
 
     def build_jobs(self) -> List[SweepJob]:
         """The engine-job decomposition a direct sweep would execute."""
-        return build_grid_jobs(
+        jobs = build_grid_jobs(
             block_sizes=self.block_sizes,
             associativities=self.associativities,
             set_sizes=doubling_set_sizes(self.max_sets),
             policies=self.policies,
             seed=self.seed,
         )
+        if self.mechanisms:
+            jobs += build_mechanism_grid_jobs(
+                self.mechanisms,
+                block_sizes=self.block_sizes,
+                associativities=self.associativities,
+                set_sizes=doubling_set_sizes(self.max_sets),
+                entry_counts=self.mechanism_entries,
+                policies=self.policies,
+                stream_depth=self.stream_depth,
+                seed=self.seed,
+            )
+        return jobs
 
     def load_trace(self) -> Trace:
         """Load the request's trace file."""

@@ -4,6 +4,7 @@ import gzip
 
 import numpy as np
 import pytest
+from engine_options import ENGINE_TEST_OPTIONS
 
 from repro.cache.simulator import SingleConfigSimulator
 from repro.cli import main
@@ -16,6 +17,7 @@ from repro.engine import (
     available_engines,
     build_grid_jobs,
     get_engine,
+    get_engine_class,
     merge_results,
     run_sweep,
 )
@@ -30,7 +32,16 @@ SET_SIZES = (1, 2, 4, 8, 16)
 class TestRegistry:
     def test_expected_engines_registered(self):
         keys = available_engines()
-        for expected in ("dew", "single", "janapsatya", "janapsatya-crcb", "lru-stack"):
+        for expected in (
+            "dew",
+            "single",
+            "janapsatya",
+            "janapsatya-crcb",
+            "lru-stack",
+            "miss-cache",
+            "stream-buffer",
+            "victim-cache",
+        ):
             assert expected in keys
 
     def test_unknown_engine_raises(self):
@@ -49,6 +60,90 @@ class TestRegistry:
 
         with pytest.raises(EngineError, match="already registered"):
             register_engine("dew")(type(get_engine("dew", block_size=4, associativity=1)))
+
+
+def _fresh_engine(name):
+    return get_engine(name, **ENGINE_TEST_OPTIONS[name])
+
+
+def _collapsed_feed(engine, trace, chunk_size=32):
+    """Feed a trace as per-chunk run-length-collapsed (values, counts) pairs."""
+    iterator = trace.iter_block_chunks(
+        engine.offset_bits, chunk_size, with_types=engine.wants_access_types
+    )
+    for chunk in iterator:
+        blocks, types = chunk if engine.wants_access_types else (chunk, None)
+        boundaries = np.flatnonzero(np.diff(blocks)) + 1
+        starts = np.concatenate(([0], boundaries))
+        counts = np.diff(np.concatenate((starts, [blocks.size])))
+        if types is None:
+            engine.run_block_runs(blocks[starts], counts)
+        else:
+            engine.run_block_runs(blocks[starts], counts, types[starts])
+
+
+class TestRegistryDriven:
+    """Universal properties every registered engine must satisfy.
+
+    Parametrized over ``available_engines()`` with options looked up in
+    :data:`engine_options.ENGINE_TEST_OPTIONS` — a newly registered engine joins
+    this surface automatically (and fails loudly until it gets options).
+    """
+
+    def test_every_engine_has_test_options(self):
+        assert set(available_engines()) == set(ENGINE_TEST_OPTIONS)
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_TEST_OPTIONS))
+    def test_construction_and_capability_flags(self, name):
+        engine = _fresh_engine(name)
+        assert isinstance(engine, Engine)
+        assert engine.family == name
+        assert engine.offset_bits >= 0
+        cls = get_engine_class(name)
+        assert cls.supports_block_runs == engine.supports_block_runs
+        assert cls.wants_access_types == engine.wants_access_types
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_TEST_OPTIONS))
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100_000])
+    def test_chunk_size_invariance(self, name, chunk_size, mixed_trace):
+        baseline = _fresh_engine(name).run(mixed_trace, chunk_size=64)
+        probe = _fresh_engine(name).run(mixed_trace, chunk_size=chunk_size)
+        assert probe.as_rows() == baseline.as_rows()
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_TEST_OPTIONS))
+    def test_finalize_frame_agrees_with_finalize(self, name, loop_trace):
+        engine = _fresh_engine(name)
+        engine.run(loop_trace)
+        frame_rows = SimulationResults.from_frame(
+            engine.finalize_frame(loop_trace.name)
+        ).as_rows()
+        assert frame_rows == engine.finalize(trace_name=loop_trace.name).as_rows()
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_TEST_OPTIONS))
+    def test_block_runs_parity_or_loud_rejection(self, name, loop_trace):
+        engine = _fresh_engine(name)
+        if not engine.supports_block_runs:
+            with pytest.raises(EngineError, match="run-length"):
+                engine.run_block_runs([0], [1])
+            return
+        _collapsed_feed(engine, loop_trace, chunk_size=37)
+        raw = _fresh_engine(name).run(loop_trace, chunk_size=37)
+        assert engine.finalize(trace_name=loop_trace.name).as_rows() == raw.as_rows()
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_TEST_OPTIONS))
+    def test_reset_reproduces_first_run(self, name, loop_trace):
+        engine = _fresh_engine(name)
+        first = engine.run(loop_trace).as_rows()
+        engine.reset()
+        assert engine.run(loop_trace).as_rows() == first
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_TEST_OPTIONS))
+    def test_sweep_job_round_trips(self, name):
+        import pickle
+
+        job = SweepJob.make(name, **ENGINE_TEST_OPTIONS[name])
+        assert pickle.loads(pickle.dumps(job)) == job
+        assert name in job.label()
 
 
 class TestDewEngine:

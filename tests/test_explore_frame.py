@@ -262,6 +262,31 @@ class TestFrameNativeEnergyAndTuner:
         with pytest.raises(ExplorationError):
             CacheTuner().tune_frame(self._frame(), TuningConstraints(max_total_size=8))
 
+    def test_rank_frame_distinguishes_mechanism_rows(self):
+        # A bare cache and a mechanism rider share the same cache geometry;
+        # ranked outcomes must not collapse them into one ambiguous label.
+        from repro.engine import get_engine
+        from repro.trace.trace import Trace
+
+        trace = Trace([i * 8 for i in range(32)] * 4, name="tune")
+        bare = get_engine("single", num_sets=2, associativity=2, block_size=8, policy="fifo")
+        bare.run(trace)
+        rider = get_engine(
+            "victim-cache", num_sets=2, associativity=2, block_size=8, entries=4
+        )
+        rider.run(trace)
+        frame = ResultsFrame.merge(
+            [bare.finalize_frame("tune"), rider.finalize_frame("tune")],
+            trace_name="tune",
+        )
+        outcomes = CacheTuner(objective="misses").rank_frame(frame, top=2)
+        labels = [outcome.label() for outcome in outcomes]
+        assert len(set(labels)) == 2
+        by_mechanism = {outcome.mechanism: outcome.as_dict() for outcome in outcomes}
+        assert by_mechanism["victim-cache"]["config"].endswith("+victim-cachex4")
+        assert by_mechanism["victim-cache"]["mechanism_entries"] == 4
+        assert "mechanism" not in by_mechanism["none"]
+
     def test_tie_break_prefers_smaller_then_canonical_order(self):
         # Two configs with identical miss counts and identical total size:
         # the canonical earlier row (smaller num_sets first) must win.

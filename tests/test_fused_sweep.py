@@ -15,7 +15,15 @@ from hypothesis import strategies as st
 
 from repro.cli import main
 from repro.core.dew import DewSimulator
-from repro.engine import FusedSweepExecutor, SweepJob, build_grid_jobs, get_engine, run_sweep
+from repro.engine import (
+    FusedSweepExecutor,
+    SweepJob,
+    build_grid_jobs,
+    build_mechanism_grid_jobs,
+    get_engine,
+    get_engine_class,
+    run_sweep,
+)
 from repro.engine.sweep import _partition_fused_batches
 from repro.errors import EngineError
 from repro.store import open_store
@@ -229,6 +237,75 @@ class TestFusedSweepIdentity:
         warm_fused = run_sweep(sweep_trace, grid_jobs, store=store, fused=True)
         assert warm_fused.executed_jobs == 0
         assert warm_fused.as_rows() == per_job.as_rows()
+
+
+@pytest.fixture(scope="module")
+def mixed_jobs():
+    """A grid mixing every capability combination in one sweep.
+
+    dew (runs, no types) + single via the random policy (no runs, types) +
+    victim-cache (runs, no types) + stream-buffer (runs *and* types), so the
+    fused executor must route raw chunks, collapsed chunks and per-run head
+    types side by side within each batch.
+    """
+    jobs = build_grid_jobs([8, 16], [1, 2], (1, 2, 4), policies=("fifo", "random"))
+    return jobs + build_mechanism_grid_jobs(
+        ["victim-cache", "stream-buffer"],
+        [8, 16],
+        [1, 2],
+        (1, 2, 4),
+        entry_counts=(2, 4),
+    )
+
+
+class TestMixedEngineSweeps:
+    def test_grid_is_heterogeneous(self, mixed_jobs):
+        run_flags = {get_engine_class(job.engine).supports_block_runs for job in mixed_jobs}
+        type_flags = {get_engine_class(job.engine).wants_access_types for job in mixed_jobs}
+        assert run_flags == {True, False}
+        assert type_flags == {True, False}
+
+    def test_fused_matches_per_job(self, sweep_trace, mixed_jobs):
+        baseline = run_sweep(sweep_trace, mixed_jobs, fused=False)
+        fused = run_sweep(sweep_trace, mixed_jobs, fused=True)
+        assert fused.as_rows() == baseline.as_rows()
+        assert fused.merged().to_json() == baseline.merged().to_json()
+
+    def test_parallel_matches_serial(self, sweep_trace, mixed_jobs):
+        serial = run_sweep(sweep_trace, mixed_jobs)
+        parallel = run_sweep(sweep_trace, mixed_jobs, workers=2)
+        assert parallel.as_rows() == serial.as_rows()
+
+    def test_store_resume_byte_identity(self, tmp_path, sweep_trace, mixed_jobs):
+        store = open_store(tmp_path / "store")
+        cold = run_sweep(sweep_trace, mixed_jobs, store=store)
+        assert cold.executed_jobs == len(mixed_jobs)
+        warm = run_sweep(sweep_trace, mixed_jobs, store=store)
+        assert warm.executed_jobs == 0
+        assert warm.as_rows() == cold.as_rows()
+        # Evict one mechanism artifact: only that cell re-runs, byte-identical.
+        fingerprint = sweep_trace.fingerprint()
+        mechanism_positions = [
+            index
+            for index, job in enumerate(mixed_jobs)
+            if job.engine == "stream-buffer"
+        ]
+        assert store.delete(mixed_jobs[mechanism_positions[0]].store_key(fingerprint))
+        partial = run_sweep(sweep_trace, mixed_jobs, store=store)
+        assert partial.executed_jobs == 1
+        assert partial.cached_jobs == len(mixed_jobs) - 1
+        assert partial.as_rows() == cold.as_rows()
+
+    def test_merged_keeps_mechanism_rows_distinct(self, sweep_trace, mixed_jobs):
+        merged = run_sweep(sweep_trace, mixed_jobs).merged()
+        rows = merged.as_rows()
+        mechanisms = {row.get("mechanism", "none") for row in rows}
+        assert mechanisms == {"none", "victim-cache", "stream-buffer"}
+        # A mechanism row never collides with its bare-cache counterpart.
+        bare = [row for row in rows if "mechanism" not in row]
+        augmented = [row for row in rows if "mechanism" in row]
+        assert len(bare) + len(augmented) == len(rows)
+        assert augmented  # the mechanism cells actually landed
 
 
 class TestSweepCliFused:

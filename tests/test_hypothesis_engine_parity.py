@@ -9,10 +9,13 @@ and a size larger than the whole trace.
 """
 
 import hypothesis.strategies as st
+import pytest
+from engine_options import ENGINE_TEST_OPTIONS
 from hypothesis import HealthCheck, given, settings
 
 from repro.cache.simulator import SingleConfigSimulator
-from repro.engine import get_engine
+from repro.engine import available_engines, get_engine
+from repro.mechanisms import MECHANISM_ENGINE_NAMES
 from repro.trace.trace import Trace
 
 ADDRESSES = st.lists(st.integers(min_value=0, max_value=255), min_size=0, max_size=120)
@@ -108,3 +111,50 @@ def test_single_engine_matches_direct_simulation(
         direct.access(address)
     assert direct.stats.misses == results[config].misses
     assert direct.stats.as_dict() == engine.stats.as_dict()
+
+
+@pytest.mark.parametrize("engine_name", available_engines())
+@given(addresses=ADDRESSES, chunk_size=CHUNK_SIZES)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_every_registered_engine_is_chunk_invariant(engine_name, addresses, chunk_size):
+    """Registry-driven: any engine's results are independent of chunking.
+
+    Parametrized over ``available_engines()`` with options from
+    :data:`engine_options.ENGINE_TEST_OPTIONS`, so newly registered engines are
+    property-tested automatically.
+    """
+    trace = Trace(addresses, name="random")
+    baseline = get_engine(engine_name, **ENGINE_TEST_OPTIONS[engine_name]).run(
+        trace, chunk_size=17
+    )
+    probe = get_engine(engine_name, **ENGINE_TEST_OPTIONS[engine_name]).run(
+        trace, chunk_size=chunk_size
+    )
+    assert probe.as_rows() == baseline.as_rows()
+
+
+@pytest.mark.parametrize("engine_name", MECHANISM_ENGINE_NAMES)
+@given(
+    addresses=ADDRESSES,
+    entries=st.sampled_from([2, 4, 8, 16]),
+    chunk_size=CHUNK_SIZES,
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_mechanism_engines_conserve_bare_cache_misses(
+    engine_name, addresses, entries, chunk_size
+):
+    """Every DL1 miss is either served by the mechanism or survives.
+
+    The mechanism never changes DL1's own behaviour, so ``misses +
+    mechanism_hits`` must equal the bare cache's miss count exactly, and the
+    access column must match the reference run.
+    """
+    trace = Trace(addresses, name="random")
+    options = ENGINE_TEST_OPTIONS[engine_name] | {"entries": entries}
+    engine = get_engine(engine_name, **options)
+    engine.run(trace, chunk_size=chunk_size)
+    reference = SingleConfigSimulator(engine.config)
+    reference.run(trace)
+    frame = engine.finalize_frame("random")
+    assert int(frame.accesses[0]) == reference.stats.accesses
+    assert int(frame.misses[0]) + int(frame.mechanism_hits[0]) == reference.stats.misses

@@ -33,7 +33,13 @@ from repro.engine.shmplane import (
     decode_requirements,
     leaked_segments,
 )
-from repro.engine.sweep import FusedSweepExecutor, SweepJob, build_grid_jobs, run_sweep
+from repro.engine.sweep import (
+    FusedSweepExecutor,
+    SweepJob,
+    build_grid_jobs,
+    build_mechanism_grid_jobs,
+    run_sweep,
+)
 from repro.errors import EngineError, ReproError
 from repro.store import open_store
 from repro.trace.trace import Trace, collapse_block_runs
@@ -169,6 +175,77 @@ class TestByteIdentity:
         assert warm.as_rows() == cold.as_rows()
         # And a storeless no-shm run agrees byte for byte.
         assert run_sweep(trace, jobs).as_rows() == warm.as_rows()
+
+
+def _mixed_jobs():
+    """dew + victim-cache + stream-buffer: heterogeneous runs/types flags."""
+    jobs = build_grid_jobs([16, 64], [2], [1, 2, 4], policies=["fifo"])
+    return jobs + build_mechanism_grid_jobs(
+        ["victim-cache", "stream-buffer"], [16, 64], [2], [1, 2], entry_counts=(2, 4)
+    )
+
+
+class TestMixedEnginePlane:
+    def test_mixed_grid_decode_requirements(self):
+        plan = decode_requirements(_mixed_jobs())
+        assert plan.offsets == (4, 6)
+        assert set(plan.runs_offsets) == {4, 6}
+        # Only stream-buffer wants types; its presence flips the whole plan.
+        assert plan.needs_types
+
+    def test_plane_and_pool_match_serial(self):
+        trace = _trace(8_000)
+        jobs = _mixed_jobs()
+        base = run_sweep(trace, jobs)
+        for kwargs in (
+            dict(shm=True),
+            dict(workers=2, shm=True),
+            dict(workers=2, shm=False),
+        ):
+            outcome = run_sweep(trace, jobs, **kwargs)
+            assert outcome.as_rows() == base.as_rows(), kwargs
+            assert outcome.merged().to_json() == base.merged().to_json(), kwargs
+
+    def test_store_resume_rides_the_plane(self, tmp_path):
+        trace = _trace(8_000)
+        jobs = _mixed_jobs()
+        store = open_store(tmp_path / "mixed")
+        cold = run_sweep(trace, jobs, store=store, workers=2, shm=True)
+        assert cold.executed_jobs == len(jobs)
+        store.delete(jobs[-1].store_key(trace.fingerprint()))
+        warm = run_sweep(trace, jobs, store=store, workers=2, shm=True)
+        assert warm.executed_jobs == 1
+        assert warm.cached_jobs == len(jobs) - 1
+        assert warm.as_rows() == cold.as_rows()
+
+
+class TestAccessTypeRequirements:
+    """decode_requirements surfaces type needs; a typeless plane fails loudly."""
+
+    def test_stream_buffer_jobs_need_types(self):
+        sb = build_mechanism_grid_jobs(["stream-buffer"], [16], [2], [2], entry_counts=(2,))
+        assert decode_requirements(sb).needs_types is True
+
+    def test_other_mechanisms_do_not_need_types(self):
+        quiet = build_mechanism_grid_jobs(
+            ["victim-cache", "miss-cache"], [16], [2], [2], entry_counts=(2,)
+        )
+        assert decode_requirements(quiet).needs_types is False
+
+    def test_plane_published_without_types_fails_loudly(self):
+        """A plane planned for typeless jobs must reject a types-hungry rider.
+
+        Publishing against dew-only jobs omits the access-type array; wiring
+        a stream-buffer job onto that plane afterwards must raise before any
+        cell simulates, not silently default the types.
+        """
+        trace = _trace(2_000)
+        dew_jobs = build_grid_jobs([16], [2], [1, 2], policies=["fifo"])
+        sb = build_mechanism_grid_jobs(["stream-buffer"], [16], [2], [2], entry_counts=(2,))
+        assert decode_requirements(dew_jobs).needs_types is False
+        with SharedTracePlane.publish(trace, dew_jobs) as plane:
+            with pytest.raises(EngineError, match="without access types"):
+                FusedSweepExecutor(plane, dew_jobs + sb).execute()
 
 
 class TestSegmentLifecycle:
