@@ -113,6 +113,25 @@ def pr8_report():
 
 
 @pytest.fixture(scope="session")
+def pr9_report():
+    """Collector for the trace plane cache benchmark's measurements.
+
+    Written as ``BENCH_PR9.json`` (path overridable via ``REPRO_BENCH_PR9``)
+    at session end: the warm mmap-attach speedup over a cold text decode,
+    the sidecar fingerprint speedup over a full-file hash, and the served
+    warm-corpus submit-to-done p50 — the decode-once counterpart to the
+    BENCH_PR4-PR8 trajectories.
+    """
+    data = {}
+    yield data
+    if data:
+        path = os.environ.get("REPRO_BENCH_PR9", "BENCH_PR9.json")
+        with open(path, "w", encoding="ascii") as handle:
+            json.dump(dict(sorted(data.items())), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+@pytest.fixture(scope="session")
 def experiment_runner() -> ExperimentRunner:
     """The paper's evaluation grid at a Python-tractable trace length."""
     return ExperimentRunner(

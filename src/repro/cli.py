@@ -48,6 +48,11 @@ Installed as ``repro-dew``.  Subcommands:
     Inspect and maintain a service: ``queue ls`` (jobs per state),
     ``queue stats`` (counts, dedup ratio, per-daemon fleet liveness) and
     ``queue gc`` (evict finished job records past a retention window).
+``trace``
+    Trace utilities — ``trace cache ls/verify/gc/warm`` manage the
+    content-addressed decoded-plane cache (``--trace-cache`` on ``sweep``,
+    ``serve`` and ``submit``): each trace is text-parsed once, ever; warm
+    consumers mmap-attach the decoded columnar plane read-only.
 ``reproduce``
     Regenerate the paper's tables and figures (scaled-down traces).
 
@@ -104,7 +109,16 @@ from repro.store.manage import (
     verify_store,
 )
 from repro.trace.din import write_din
-from repro.trace.files import load_trace_file
+from repro.trace.files import load_trace_file, trace_name_for_path
+from repro.trace.planecache import (
+    CachedPlane,
+    PlaneKey,
+    coerce_plane_cache,
+    gc_plane_cache,
+    open_plane_cache,
+    scan_plane_cache,
+    verify_plane_cache,
+)
 from repro.trace.textio import write_text_trace
 from repro.trace.trace import Trace
 from repro.types import ReplacementPolicy
@@ -214,8 +228,23 @@ def _print_result_rows(merged) -> None:
         print(line)
 
 
+def _sweep_trace_cache(args: argparse.Namespace):
+    """The plane cache a command was asked to use, or ``None``.
+
+    Cache-open failures degrade to no cache with a stderr note — the cache
+    accelerates, it never gates.
+    """
+    target = getattr(args, "trace_cache", None)
+    if not target:
+        return None
+    try:
+        return coerce_plane_cache(target)
+    except (StoreError, OSError) as exc:
+        print(f"trace cache disabled: {exc}", file=sys.stderr)
+        return None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
     jobs = build_grid_jobs(
         block_sizes=_parse_int_list(args.block_sizes, "block size"),
         associativities=_parse_int_list(args.associativities, "associativity"),
@@ -238,23 +267,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     store = open_store(args.store) if args.store else None
-    outcome = run_sweep(
-        trace,
-        jobs,
-        workers=args.workers,
-        store=store,
-        force=args.force,
-        fused=not args.no_fused,
-        shm=_shm_mode(args),
-    )
+    cache = _sweep_trace_cache(args)
+    # Warm path: a fingerprint sidecar plus a cached plane for this job grid
+    # means the sweep never opens the trace file at all — the mmap-attached
+    # plane is the chunk source and only walked pages are read.
+    sweep_input = None
+    if cache is not None and not args.no_fused:
+        known = cache.cached_fingerprint(args.trace)
+        if known is not None:
+            sweep_input = cache.get(
+                PlaneKey.make(known, jobs),
+                trace_name=trace_name_for_path(args.trace),
+            )
+    if sweep_input is None:
+        sweep_input = _load_trace(args.trace, cache=cache)
+    try:
+        outcome = run_sweep(
+            sweep_input,
+            jobs,
+            workers=args.workers,
+            store=store,
+            force=args.force,
+            fused=not args.no_fused,
+            shm=_shm_mode(args),
+            trace_cache=cache,
+        )
+    finally:
+        if isinstance(sweep_input, CachedPlane):
+            sweep_input.close()
     merged = outcome.merged()
+    requests = (
+        len(sweep_input) if isinstance(sweep_input, Trace) else sweep_input.length
+    )
     # Result lines are deterministic (byte-identical for any worker count and
     # for cold vs store-warmed runs); timing and store bookkeeping go to
     # stderr so stdout stays comparable.
     if args.format == "json":
         print(merged.to_json())
     else:
-        print(f"sweep: {len(trace):,} requests, {len(jobs)} jobs, {len(merged)} configurations")
+        print(f"sweep: {requests:,} requests, {len(jobs)} jobs, {len(merged)} configurations")
         _print_result_rows(merged)
     if store is not None:
         print(
@@ -348,6 +399,103 @@ def _cmd_store_export(args: argparse.Namespace) -> int:
 def _cmd_store_import(args: argparse.Namespace) -> int:
     report = import_store(open_store(args.store_dir), args.manifest)
     print(report.summary())
+    return 0
+
+
+def _open_existing_plane_cache(path: str):
+    """Open a plane cache that must already exist (management commands)."""
+    if not os.path.isfile(os.path.join(path, "planecache.json")):
+        raise StoreError(
+            f"no trace plane cache at {path} "
+            f"(create one with 'sweep --trace-cache {path}' or 'trace cache warm')"
+        )
+    return open_plane_cache(path)
+
+
+def _cmd_trace_cache_ls(args: argparse.Namespace) -> int:
+    cache = _open_existing_plane_cache(args.cache_dir)
+    records = scan_plane_cache(cache)
+    if args.format == "json":
+        print(json.dumps(
+            [record.as_dict(root=cache.root) for record in records], indent=2
+        ))
+        return 0
+    planes = [record for record in records if record.status == "ok"]
+    traces = sorted({record.trace_fingerprint for record in planes})
+    total_bytes = sum(record.size_bytes for record in planes)
+    print(
+        f"trace cache {args.cache_dir}: {len(planes)} plane(s), "
+        f"{len(traces)} trace(s), {total_bytes:,} bytes"
+    )
+    for record in records:
+        if record.status == "ok":
+            print(
+                f"  {record.digest[:12]}  trace={record.trace_fingerprint[:12]}  "
+                f"arrays={record.rows:<3} {record.size_bytes:,} B"
+            )
+        else:
+            print(f"  [{record.status}] {record.path}  ({record.detail})")
+    return 0
+
+
+def _cmd_trace_cache_verify(args: argparse.Namespace) -> int:
+    report = verify_plane_cache(_open_existing_plane_cache(args.cache_dir))
+    print(report.summary())
+    for record in report.problems:
+        print(f"  [{record.status}] {record.path}: {record.detail}")
+    return 0 if report.clean else 1
+
+
+def _cmd_trace_cache_gc(args: argparse.Namespace) -> int:
+    keep = None
+    if args.keep_fingerprints is not None:
+        keep = [token.strip() for token in args.keep_fingerprints.split(",") if token.strip()]
+    report = gc_plane_cache(_open_existing_plane_cache(args.cache_dir),
+                            keep_fingerprints=keep,
+                            dry_run=args.dry_run, max_bytes=args.max_bytes)
+    print(report.summary())
+    for record in report.removed:
+        print(f"  [{record.status}] {record.path}")
+    for prefix in report.unmatched_keeps:
+        print(
+            f"warning: keep fingerprint {prefix!r} matched no plane",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_trace_cache_warm(args: argparse.Namespace) -> int:
+    cache = open_plane_cache(args.cache_dir)
+    jobs = build_grid_jobs(
+        block_sizes=_parse_int_list(args.block_sizes, "block size"),
+        associativities=_parse_int_list(args.associativities, "associativity"),
+        set_sizes=_set_sizes(args.max_sets),
+        policies=[token for token in args.policies.split(",") if token.strip()],
+        seed=args.seed,
+    )
+    mechanisms = [token.strip() for token in args.mechanisms.split(",") if token.strip()]
+    if mechanisms:
+        jobs += build_mechanism_grid_jobs(
+            mechanisms,
+            block_sizes=_parse_int_list(args.block_sizes, "block size"),
+            associativities=_parse_int_list(args.associativities, "associativity"),
+            set_sizes=_set_sizes(args.max_sets),
+            entry_counts=_parse_int_list(args.mechanism_entries, "mechanism entry count"),
+            policies=[token for token in args.policies.split(",") if token.strip()],
+            stream_depth=args.stream_depth,
+            seed=args.seed,
+        )
+    trace = _load_trace(args.trace, cache=cache)
+    plane = cache.ensure(trace, jobs)
+    try:
+        key = plane.key
+        path = cache.path_for(key)
+        size = os.path.getsize(path)
+    finally:
+        plane.close()
+    stats = cache.stats()
+    verb = "already cached" if stats["puts"] == 0 else "decoded and cached"
+    print(f"{verb}: plane {key.digest[:12]} ({size:,} B) at {path}")
     return 0
 
 
@@ -505,11 +653,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         lease_seconds=args.lease,
         socket=args.socket,
         job_retain_seconds=args.job_retain_seconds,
+        trace_cache=args.trace_cache,
     )
     print(
         f"serving {args.service_dir} as {daemon.daemon_id} "
         f"(store: {daemon.store.root}, {daemon.workers} worker(s), "
-        f"socket {'on' if daemon.socket_enabled else 'off'})",
+        f"socket {'on' if daemon.socket_enabled else 'off'}, "
+        f"trace cache "
+        f"{daemon.trace_cache.root if daemon.trace_cache is not None else 'off'})",
         file=sys.stderr,
     )
     try:
@@ -543,7 +694,12 @@ def _submit_request(args: argparse.Namespace) -> SweepRequest:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    client = ServiceClient(args.service_dir, create=True, transport=args.transport)
+    client = ServiceClient(
+        args.service_dir,
+        create=True,
+        transport=args.transport,
+        trace_cache=args.trace_cache,
+    )
     response = client.submit(_submit_request(args), priority=args.priority)
     if args.wait:
         record = client.wait(response["job_id"], timeout=args.timeout)
@@ -662,6 +818,13 @@ def _cmd_queue_stats(args: argparse.Namespace) -> int:
             )
             if entry.get("heartbeat_errors"):
                 line += f", {entry['heartbeat_errors']} heartbeat error(s)"
+            tc = entry.get("trace_cache")
+            if tc:
+                line += (
+                    f", trace cache {tc.get('hits', 0)} hit(s)/"
+                    f"{tc.get('misses', 0)} miss(es)"
+                    f"/{tc.get('sidecar_hits', 0)} sidecar hit(s)"
+                )
             if entry.get("note"):
                 line += f" ({entry['note']})"
             print(line)
@@ -799,6 +962,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the fused single-pass executor and run one "
                             "full trace pass per job (results are identical)")
     add_shm_arguments(sweep)
+    sweep.add_argument("--trace-cache", dest="trace_cache", default=None,
+                       metavar="DIR",
+                       help="decoded-trace plane cache directory: the first "
+                            "sweep decodes and caches the trace's columnar "
+                            "plane, later sweeps mmap-attach it and never "
+                            "re-parse the file (results are identical)")
+    sweep.add_argument("--no-trace-cache", dest="trace_cache",
+                       action="store_const", const=False,
+                       help="disable the decoded-trace plane cache")
     sweep.add_argument("--format", choices=("text", "json"), default="text",
                        help="output format (json rows use a stable sort order)")
     sweep.set_defaults(func=_cmd_sweep)
@@ -934,6 +1106,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_JOB_RETAIN_SECONDS, metavar="SECONDS",
                        help="startup 'queue gc' retention window for "
                             "finished job records (default: 7 days)")
+    serve.add_argument("--trace-cache", dest="trace_cache", default=None,
+                       metavar="DIR",
+                       help="decoded-trace plane cache shared by the fleet "
+                            "(default: <service_dir>/tracecache); a warm "
+                            "cache lets daemons run jobs without ever "
+                            "opening the trace file")
+    serve.add_argument("--no-trace-cache", dest="trace_cache",
+                       action="store_const", const=False,
+                       help="disable the decoded-trace plane cache")
     serve.set_defaults(func=_cmd_serve)
 
     def add_service_client_arguments(sub: argparse.ArgumentParser, with_job: bool) -> None:
@@ -985,6 +1166,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="auto (default) uses a live daemon's socket and "
                              "falls back to polling files; files/socket pin "
                              "one path")
+    submit.add_argument("--trace-cache", dest="trace_cache", default=None,
+                        metavar="DIR",
+                        help="decoded-trace plane cache for the fingerprint "
+                             "sidecar (default: <service_dir>/tracecache); a "
+                             "warm sidecar makes resubmission skip the "
+                             "full-file hash entirely")
+    submit.add_argument("--no-trace-cache", dest="trace_cache",
+                        action="store_const", const=False,
+                        help="disable the decoded-trace plane cache")
     submit.set_defaults(func=_cmd_submit)
 
     status = subparsers.add_parser("status", help="show one service job's state and progress")
@@ -1042,6 +1232,69 @@ def build_parser() -> argparse.ArgumentParser:
     queue_gc.add_argument("--format", choices=("text", "json"), default="text",
                           help="output format")
     queue_gc.set_defaults(func=_cmd_queue_gc)
+
+    trace = subparsers.add_parser(
+        "trace", help="trace utilities (the decoded-plane cache)")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_cache = trace_sub.add_parser(
+        "cache",
+        help="manage a decoded-trace plane cache (content-addressed, "
+             "mmap-attached; decode each trace once, ever)")
+    cache_sub = trace_cache.add_subparsers(dest="cache_command", required=True)
+
+    tc_ls = cache_sub.add_parser("ls", help="list the cache's decoded planes")
+    tc_ls.add_argument("cache_dir", help="plane cache directory")
+    tc_ls.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format")
+    tc_ls.set_defaults(func=_cmd_trace_cache_ls)
+
+    tc_verify = cache_sub.add_parser(
+        "verify",
+        help="re-read every plane, re-hash its payload and re-derive its "
+             "content address; report corrupt/mis-addressed files")
+    tc_verify.add_argument("cache_dir", help="plane cache directory")
+    tc_verify.set_defaults(func=_cmd_trace_cache_verify)
+
+    tc_gc = cache_sub.add_parser(
+        "gc", help="remove temp files, corrupt planes and (with a keep-list) "
+                   "other traces' planes")
+    tc_gc.add_argument("cache_dir", help="plane cache directory")
+    tc_gc.add_argument("--keep-fingerprints", default=None, metavar="FP[,FP...]",
+                       help="comma-separated trace fingerprint prefixes to keep; "
+                            "every valid plane matching none of them is removed")
+    tc_gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                       help="size budget: evict valid planes oldest-first until "
+                            "the cache fits in N bytes (evicted planes are "
+                            "re-decoded by the next sweep)")
+    tc_gc.add_argument("--dry-run", action="store_true",
+                       help="report what would be removed without deleting anything")
+    tc_gc.set_defaults(func=_cmd_trace_cache_gc)
+
+    tc_warm = cache_sub.add_parser(
+        "warm",
+        help="decode a trace's plane into the cache ahead of time (so the "
+             "first sweep or service job is already warm)")
+    tc_warm.add_argument("cache_dir", help="plane cache directory (created if missing)")
+    tc_warm.add_argument("trace", help="trace file (.din, .csv or hex list; .gz accepted)")
+    tc_warm.add_argument("--block-sizes", default="4,16,64",
+                         help="comma-separated block sizes in bytes")
+    tc_warm.add_argument("--associativities", default="1,4,8",
+                         help="comma-separated associativities")
+    tc_warm.add_argument("--max-sets", type=int, default=16384,
+                         help="largest number of sets (sweep doubles from 1)")
+    tc_warm.add_argument("--policies", default="fifo",
+                         help="comma-separated replacement policies")
+    tc_warm.add_argument("--mechanisms", default="",
+                         help="comma-separated miss-path mechanisms the target "
+                              "grid sweeps (affects the plane's access types)")
+    tc_warm.add_argument("--mechanism-entries", default="2,4,8,16",
+                         help="comma-separated mechanism buffer entry counts")
+    tc_warm.add_argument("--stream-depth", type=int, default=4,
+                         help="prefetch depth of each stream buffer")
+    tc_warm.add_argument("--seed", type=int, default=0,
+                         help="seed for stochastic policies")
+    tc_warm.set_defaults(func=_cmd_trace_cache_warm)
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's tables and figures")
     reproduce.add_argument("--requests", type=int, default=None,

@@ -246,6 +246,147 @@ def decode_requirements(jobs: Sequence) -> DecodeRequirements:
     )
 
 
+def _chunked_runs(
+    blocks: np.ndarray, length: int, chunk_size: int, num_chunks: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Chunk-by-chunk run-length collapse with a per-chunk splits index.
+
+    Exactly the local pipeline's collapse (runs never merge across chunk
+    boundaries); the per-chunk run slices are recovered through ``splits``.
+    """
+    values_parts: List[np.ndarray] = []
+    counts_parts: List[np.ndarray] = []
+    splits = np.zeros(num_chunks + 1, dtype=np.int64)
+    for chunk_index in range(num_chunks):
+        start = chunk_index * chunk_size
+        stop = min(start + chunk_size, length)
+        values, counts = collapse_block_runs(blocks[start:stop])
+        values_parts.append(values)
+        counts_parts.append(counts)
+        splits[chunk_index + 1] = splits[chunk_index] + values.size
+    values_all = (
+        np.concatenate(values_parts) if values_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    counts_all = (
+        np.concatenate(counts_parts) if counts_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    return values_all, counts_all, splits
+
+
+def build_plane_arrays(
+    trace: Trace,
+    plan: DecodeRequirements,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    collapse: bool = True,
+) -> List[Tuple[str, np.ndarray]]:
+    """Decode ``trace`` once into the plane's columnar arrays.
+
+    This is the single decode both plane backends store: the raw address
+    array, the per-block-size shift array for every offset in the plan, the
+    chunk-faithful run-length arrays (values/counts plus splits index) for
+    every offset with a run-consuming engine, and the access-type codes when
+    any engine wants them.  The shared-memory publish copies this list into
+    a segment; the on-disk plane cache writes it to an artifact.
+    """
+    chunk_size = max(int(chunk_size), 1)
+    arrays: List[Tuple[str, np.ndarray]] = []
+    addresses = np.ascontiguousarray(trace.addresses)
+    arrays.append((_KEY_ADDRESSES, addresses))
+    if plan.needs_types:
+        arrays.append((_KEY_TYPES, np.ascontiguousarray(trace.access_types)))
+    length = int(addresses.size)
+    num_chunks = (length + chunk_size - 1) // chunk_size if length else 0
+    runs_offsets = set(plan.runs_offsets) if collapse else set()
+    for offset_bits in plan.offsets:
+        blocks = addresses >> offset_bits
+        arrays.append((_blocks_key(offset_bits), blocks))
+        if offset_bits not in runs_offsets:
+            continue
+        values_all, counts_all, splits = _chunked_runs(
+            blocks, length, chunk_size, num_chunks
+        )
+        arrays.append((_runs_key(offset_bits, "values"), values_all))
+        arrays.append((_runs_key(offset_bits, "counts"), counts_all))
+        arrays.append((_runs_key(offset_bits, "splits"), splits))
+    return arrays
+
+
+def plane_arrays_from_source(
+    source: "_PlaneView",
+    plan: DecodeRequirements,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    collapse: bool = True,
+) -> List[Tuple[str, np.ndarray]]:
+    """Assemble the plane arrays from an already-decoded plane view.
+
+    Used when republishing a cached (mmap-attached) plane into a shared
+    segment: every array the source already holds is reused as-is — a
+    straight buffer copy downstream, no text parse and no re-shift — and
+    anything the plan wants beyond the source's layout is derived from the
+    address array.  Run arrays are only reused when the source was collapsed
+    with the same chunk geometry (run slices are chunk-relative), otherwise
+    they are recollapsed from the block array.
+    """
+    chunk_size = max(int(chunk_size), 1)
+    arrays: List[Tuple[str, np.ndarray]] = []
+    addresses = source._array(_KEY_ADDRESSES)
+    if addresses is None:
+        raise EngineError("trace plane source holds no address array")
+    arrays.append((_KEY_ADDRESSES, addresses))
+    if plan.needs_types:
+        types = source._array(_KEY_TYPES)
+        if types is None:
+            raise EngineError(
+                "trace plane source was decoded without access types; "
+                "re-decode from the trace"
+            )
+        arrays.append((_KEY_TYPES, types))
+    length = int(addresses.size)
+    num_chunks = (length + chunk_size - 1) // chunk_size if length else 0
+    same_chunks = chunk_size == int(source.chunk_size)
+    runs_offsets = set(plan.runs_offsets) if collapse else set()
+    for offset_bits in plan.offsets:
+        blocks = source._array(_blocks_key(offset_bits))
+        if blocks is None:
+            blocks = addresses >> offset_bits
+        arrays.append((_blocks_key(offset_bits), blocks))
+        if offset_bits not in runs_offsets:
+            continue
+        values = source._array(_runs_key(offset_bits, "values"))
+        counts = source._array(_runs_key(offset_bits, "counts"))
+        splits = source._array(_runs_key(offset_bits, "splits"))
+        if (
+            same_chunks and source.collapse
+            and values is not None and counts is not None and splits is not None
+        ):
+            arrays.append((_runs_key(offset_bits, "values"), values))
+            arrays.append((_runs_key(offset_bits, "counts"), counts))
+            arrays.append((_runs_key(offset_bits, "splits"), splits))
+            continue
+        values_all, counts_all, splits_new = _chunked_runs(
+            blocks, length, chunk_size, num_chunks
+        )
+        arrays.append((_runs_key(offset_bits, "values"), values_all))
+        arrays.append((_runs_key(offset_bits, "counts"), counts_all))
+        arrays.append((_runs_key(offset_bits, "splits"), splits_new))
+    return arrays
+
+
+def layout_plane_arrays(
+    arrays: Sequence[Tuple[str, np.ndarray]]
+) -> Tuple[Tuple[ArraySpec, ...], int]:
+    """Cache-line-aligned :class:`ArraySpec` placements and the total bytes."""
+    specs: List[ArraySpec] = []
+    cursor = 0
+    for key, array in arrays:
+        cursor = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
+        specs.append(ArraySpec(key, array.dtype.str, tuple(array.shape), cursor))
+        cursor += array.nbytes
+    return tuple(specs), cursor
+
+
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without disturbing tracker ownership.
 
@@ -387,66 +528,38 @@ class SharedTracePlane(_PlaneView):
     @classmethod
     def publish(
         cls,
-        trace: Trace,
+        trace: Optional[Trace],
         jobs: Sequence,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         collapse: bool = True,
+        source: Optional["_PlaneView"] = None,
     ) -> "SharedTracePlane":
         """Decode ``trace`` once for ``jobs`` and publish the shared segment.
 
         Publishes the raw address array, the per-block-size shift arrays,
         the per-(chunk, block size) run-length arrays for every offset with
         a run-consuming engine, and the access-type array when any engine
-        wants it.  Raises :class:`OSError` when the platform cannot supply
-        the segment (callers without an explicit ``shm=True`` fall back to
-        the copy path).
+        wants it.  When ``source`` is given (an already-decoded plane view,
+        e.g. an mmap-attached cache artifact), its arrays are copied into
+        the segment instead of re-decoding ``trace`` — the copy streams
+        straight from the source's buffer, so a cached trace is never
+        text-parsed or re-shifted on the way into shared memory.  Raises
+        :class:`OSError` when the platform cannot supply the segment
+        (callers without an explicit ``shm=True`` fall back to the copy
+        path).
         """
         chunk_size = max(int(chunk_size), 1)
         plan = decode_requirements(jobs)
-        arrays: List[Tuple[str, np.ndarray]] = []
-        addresses = np.ascontiguousarray(trace.addresses)
-        arrays.append((_KEY_ADDRESSES, addresses))
-        if plan.needs_types:
-            arrays.append((_KEY_TYPES, np.ascontiguousarray(trace.access_types)))
-        length = int(addresses.size)
-        num_chunks = (length + chunk_size - 1) // chunk_size if length else 0
-        runs_offsets = set(plan.runs_offsets) if collapse else set()
-        for offset_bits in plan.offsets:
-            blocks = addresses >> offset_bits
-            arrays.append((_blocks_key(offset_bits), blocks))
-            if offset_bits not in runs_offsets:
-                continue
-            # Chunk-by-chunk collapse, exactly as the local pipeline does it
-            # (runs never merge across chunk boundaries); the per-chunk run
-            # slices are recovered through a splits index.
-            values_parts: List[np.ndarray] = []
-            counts_parts: List[np.ndarray] = []
-            splits = np.zeros(num_chunks + 1, dtype=np.int64)
-            for chunk_index in range(num_chunks):
-                start = chunk_index * chunk_size
-                stop = min(start + chunk_size, length)
-                values, counts = collapse_block_runs(blocks[start:stop])
-                values_parts.append(values)
-                counts_parts.append(counts)
-                splits[chunk_index + 1] = splits[chunk_index] + values.size
-            values_all = (
-                np.concatenate(values_parts) if values_parts
-                else np.empty(0, dtype=np.int64)
-            )
-            counts_all = (
-                np.concatenate(counts_parts) if counts_parts
-                else np.empty(0, dtype=np.int64)
-            )
-            arrays.append((_runs_key(offset_bits, "values"), values_all))
-            arrays.append((_runs_key(offset_bits, "counts"), counts_all))
-            arrays.append((_runs_key(offset_bits, "splits"), splits))
+        if source is not None:
+            arrays = plane_arrays_from_source(source, plan, chunk_size, collapse)
+            trace_name = source.trace_name
+        else:
+            if trace is None:
+                raise EngineError("publish needs a trace or a plane source")
+            arrays = build_plane_arrays(trace, plan, chunk_size, collapse)
+            trace_name = trace.name
 
-        specs: List[ArraySpec] = []
-        cursor = 0
-        for key, array in arrays:
-            cursor = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
-            specs.append(ArraySpec(key, array.dtype.str, array.shape, cursor))
-            cursor += array.nbytes
+        specs, cursor = layout_plane_arrays(arrays)
         total = max(cursor, 1)
         segment = shared_memory.SharedMemory(
             name=_new_segment_name(), create=True, size=total
@@ -468,8 +581,8 @@ class SharedTracePlane(_PlaneView):
             raise
         layout = PlaneLayout(
             segment=segment.name,
-            trace_name=trace.name,
-            length=length,
+            trace_name=trace_name,
+            length=int(arrays[0][1].size),
             chunk_size=chunk_size,
             collapse=bool(collapse),
             arrays=tuple(specs),

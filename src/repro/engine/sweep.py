@@ -59,7 +59,7 @@ from repro.engine.shmplane import (
     SharedTracePlane,
     TraceChunkSource,
 )
-from repro.errors import EngineError, SimulationError, VerificationError
+from repro.errors import EngineError, ReproError, SimulationError, VerificationError
 from repro.store import ResultStore, StoreKey, open_store
 from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 from repro.types import ReplacementPolicy
@@ -492,25 +492,36 @@ def _sweep_worker_init(
     jobs: Sequence[SweepJob],
     chunk_size: int,
     plane_layout: Optional[PlaneLayout] = None,
+    file_plane: Optional[Any] = None,
 ) -> None:
     _WORKER_STATE.clear()
     _WORKER_STATE["trace"] = trace
     _WORKER_STATE["jobs"] = list(jobs)
     _WORKER_STATE["chunk_size"] = chunk_size
     _WORKER_STATE["plane_layout"] = plane_layout
+    _WORKER_STATE["file_plane"] = file_plane
 
 
 def _worker_chunk_source() -> Union[Trace, Sequence[int], TraceChunkSource]:
     """The worker's fused-executor input: the shared plane when one was
-    published (attached lazily on first use, the mapping cached and reused
-    across every batch this worker runs), else the inherited/pickled trace.
+    published, else the cached-plane artifact when a file descriptor was
+    shipped (each worker maps the file read-only; the page cache holds one
+    copy machine-wide), else the inherited/pickled trace.  Either plane
+    attaches lazily on first use and the mapping is cached and reused
+    across every batch this worker runs.
     """
     layout = _WORKER_STATE.get("plane_layout")
-    if layout is None:
+    descriptor = _WORKER_STATE.get("file_plane")
+    if layout is None and descriptor is None:
         return _WORKER_STATE["trace"]
     plane = _WORKER_STATE.get("plane")
     if plane is None:
-        plane = AttachedPlane.attach(layout)
+        if layout is not None:
+            plane = AttachedPlane.attach(layout)
+        else:
+            from repro.trace.planecache import CachedPlane
+
+            plane = CachedPlane.attach(descriptor)
         _WORKER_STATE["plane"] = plane
     return plane
 
@@ -576,7 +587,7 @@ def _coerce_store(store: Optional[Union[str, "os.PathLike", ResultStore]]) -> Op
 
 
 def run_sweep(
-    trace: Union[Trace, Sequence[int]],
+    trace: Union[Trace, Sequence[int], TraceChunkSource],
     jobs: Iterable[SweepJob],
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
@@ -586,13 +597,19 @@ def run_sweep(
     fused: bool = True,
     on_result: Optional[Callable[[int, SweepJob, SimulationResults, bool], None]] = None,
     shm: Optional[bool] = None,
+    trace_cache: Optional[Union[str, "os.PathLike", Any]] = None,
 ) -> SweepOutcome:
     """Execute sweep jobs over ``trace``, optionally in parallel and incremental.
 
     Parameters
     ----------
     trace:
-        The trace every job replays (a :class:`Trace` or address sequence).
+        The trace every job replays: a :class:`Trace`, an address sequence,
+        or a pre-decoded :class:`~repro.engine.shmplane.TraceChunkSource` —
+        in particular a :class:`~repro.trace.planecache.CachedPlane`, which
+        lets a warm caller (the service daemon) run a store-keyed fused
+        sweep without ever loading the trace file.  A plane-only input
+        requires ``fused=True`` (per-job engines walk the raw trace).
     jobs:
         The sweep decomposition, e.g. from :func:`build_grid_jobs`.
     workers:
@@ -645,6 +662,17 @@ def run_sweep(
         entirely (the CLI's ``--no-shm`` escape hatch).  Results are
         byte-identical in every mode; the segment is unlinked on normal
         exit, worker crash, and KeyboardInterrupt alike.
+    trace_cache:
+        Optional decoded-plane cache (a
+        :class:`~repro.trace.planecache.TracePlaneCache` or a directory
+        path).  With ``fused=True`` the sweep attaches the trace's decoded
+        plane from the cache — decoding and persisting it first if this is
+        the trace's first visit — and executes over the mmap-backed arrays;
+        pooled fan-out ships workers a compact file descriptor instead of
+        the pickled trace.  The decode plan is derived from the *full* job
+        list (not the store-miss subset), so store-resumed runs hit the
+        same artifact.  Cache failures of any kind degrade to the normal
+        decode path; results are byte-identical with the cache on or off.
     """
     job_list = list(jobs)
     if not job_list:
@@ -654,10 +682,49 @@ def run_sweep(
     keys: Optional[List[StoreKey]] = None
     results: List[Optional[SimulationResults]] = [None] * len(job_list)
     cached_jobs = 0
-    if fused or result_store is not None:
+
+    plane_source: Optional[TraceChunkSource] = None
+    if isinstance(trace, TraceChunkSource):
+        # Pre-decoded input.  When the source wraps an in-process trace
+        # (LocalChunkSource) the trace stays available for per-job/store
+        # paths; a bare plane (CachedPlane) has no trace and can only run
+        # fused.
+        plane_source = trace
+        trace = getattr(trace, "trace", None)
+        if trace is None and not fused:
+            raise EngineError(
+                "a pre-decoded trace plane requires fused execution "
+                "(per-job engines walk the raw trace)"
+            )
+    elif fused or result_store is not None:
         trace = _coerce_trace(trace)
+
+    if trace_cache is not None and plane_source is None and fused:
+        from repro.trace.planecache import coerce_plane_cache
+
+        try:
+            cache = coerce_plane_cache(trace_cache)
+            if cache is not None:
+                # Keyed off the FULL job list so a store-resumed subset maps
+                # to the same artifact the first run wrote.
+                plane_source = cache.ensure(trace, job_list, chunk_size)
+        except (ReproError, OSError, ValueError):
+            # The cache is an optimisation, never a correctness dependency:
+            # any trouble (unwritable dir, bad manifest, racing gc) falls
+            # back to decoding in-process.
+            plane_source = None
+
     if result_store is not None:
-        fingerprint = trace.fingerprint()
+        if isinstance(trace, Trace):
+            fingerprint = trace.fingerprint()
+        else:
+            fingerprint_of = getattr(plane_source, "fingerprint", None)
+            if fingerprint_of is None:
+                raise EngineError(
+                    "store-backed sweeps need a trace or a fingerprint-"
+                    "carrying plane (a CachedPlane)"
+                )
+            fingerprint = fingerprint_of()
         keys = [job.store_key(fingerprint) for job in job_list]
         if not force:
             for index, key in enumerate(keys):
@@ -681,9 +748,12 @@ def run_sweep(
     def publish_plane(pending_jobs: Sequence[SweepJob]) -> Optional[SharedTracePlane]:
         # Decode once, publish once.  shm=None degrades gracefully to the
         # copy path when the platform cannot supply shared memory;
-        # shm=True insists.
+        # shm=True insists.  With a cached plane attached, the publish
+        # copies the mmap-resident arrays instead of re-decoding.
         try:
-            return SharedTracePlane.publish(trace, pending_jobs, chunk_size)
+            return SharedTracePlane.publish(
+                trace, pending_jobs, chunk_size, source=plane_source
+            )
         except OSError as exc:
             if shm:
                 raise EngineError(
@@ -716,9 +786,15 @@ def run_sweep(
                     batches = list(group_batches.values())
                 else:
                     batches = [missing]
+                if plane is not None:
+                    serial_source: object = plane
+                elif plane_source is not None:
+                    serial_source = plane_source
+                else:
+                    serial_source = trace
                 for batch in batches:
                     executor = FusedSweepExecutor(
-                        plane if plane is not None else trace,
+                        serial_source,
                         [job_list[index] for index in batch],
                         chunk_size,
                     )
@@ -731,14 +807,32 @@ def run_sweep(
             context = multiprocessing.get_context(mp_context)
             effective_workers = min(workers, len(missing))
             pending = [job_list[index] for index in missing]
-            if fused and shm is not False:
+            file_descriptor = None
+            if fused and plane_source is not None and shm is not True:
+                # A mmap-backed cached plane is already cross-process
+                # shareable through the page cache: ship its few-hundred-byte
+                # descriptor and let each worker attach the artifact file
+                # directly, instead of copying the arrays into a fresh
+                # shared-memory segment.
+                from repro.trace.planecache import CachedPlane
+
+                if isinstance(plane_source, CachedPlane):
+                    file_descriptor = plane_source.descriptor()
+            if fused and shm is not False and file_descriptor is None:
                 plane = publish_plane(pending)
             if plane is not None:
                 # Workers receive the compact layout descriptor instead of
                 # the trace: nothing trace-sized is pickled or copied, and
                 # each worker attaches lazily on its first batch.
                 initargs = (None, pending, chunk_size, plane.descriptor())
+            elif file_descriptor is not None:
+                initargs = (None, pending, chunk_size, None, file_descriptor)
             else:
+                if trace is None:
+                    raise EngineError(
+                        "pooled sweeps over a bare trace plane need an "
+                        "attachable descriptor (a CachedPlane) or the trace itself"
+                    )
                 initargs = (trace, pending, chunk_size)
             with context.Pool(
                 effective_workers,
@@ -775,7 +869,11 @@ def run_sweep(
     return SweepOutcome(
         jobs=tuple(job_list),
         results=tuple(final),
-        trace_name=trace.name if isinstance(trace, Trace) else "trace",
+        trace_name=(
+            trace.name
+            if isinstance(trace, Trace)
+            else plane_source.trace_name if plane_source is not None else "trace"
+        ),
         workers=effective_workers,
         elapsed_seconds=elapsed,
         cached_jobs=cached_jobs,

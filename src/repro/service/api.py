@@ -48,7 +48,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.results import ResultsFrame
 from repro.engine.sweep import SweepJob, build_grid_jobs, build_mechanism_grid_jobs
-from repro.errors import ServiceError
+from repro.errors import ReproError, ServiceError
 from repro.service.queue import (
     DEFAULT_EVENT_RETAIN_SECONDS,
     DEFAULT_LEASE_SECONDS,
@@ -177,9 +177,14 @@ class SweepRequest:
             )
         return jobs
 
-    def load_trace(self) -> Trace:
-        """Load the request's trace file."""
-        return load_trace_file(self.trace_path)
+    def load_trace(self, cache: Optional[Any] = None) -> Trace:
+        """Load the request's trace file.
+
+        ``cache`` (a :class:`~repro.trace.planecache.TracePlaneCache`)
+        enables the fingerprint sidecar, so a warm load skips the
+        full-array hash — see :func:`~repro.trace.files.load_trace_file`.
+        """
+        return load_trace_file(self.trace_path, cache=cache)
 
     def cell_digests(self, trace_fingerprint: str) -> List[str]:
         """Sorted store-key digests of every cell this request covers."""
@@ -297,6 +302,7 @@ class ServiceClient:
         root: Union[str, os.PathLike],
         create: bool = False,
         transport: str = "auto",
+        trace_cache: Union[None, bool, str, os.PathLike, Any] = None,
     ) -> None:
         if transport not in ("auto", "files", "socket"):
             raise ServiceError(
@@ -306,6 +312,33 @@ class ServiceClient:
         self.transport = transport
         self._socket: Optional[SocketTransport] = None
         self._socket_missing = False
+        # None -> share the service's own plane cache (<root>/tracecache),
+        # the same directory the daemons use, so a submit's fingerprint
+        # sidecar is already warm for every daemon in the fleet.  False
+        # disables; a path or open cache overrides.
+        self._trace_cache_setting = trace_cache
+        self._plane_cache_ready = False
+        self._plane_cache: Optional[Any] = None
+
+    def plane_cache(self) -> Optional[Any]:
+        """The client's trace plane cache, opened lazily (``None`` if disabled).
+
+        Cache failures (unwritable directory, foreign manifest) degrade to
+        no cache rather than failing the operation — the cache is an
+        accelerator, never a correctness dependency.
+        """
+        if not self._plane_cache_ready:
+            self._plane_cache_ready = True
+            setting = self._trace_cache_setting
+            if setting is None or setting is True:
+                setting = self.queue.root / "tracecache"
+            try:
+                from repro.trace.planecache import coerce_plane_cache
+
+                self._plane_cache = coerce_plane_cache(setting)
+            except (OSError, ReproError):
+                self._plane_cache = None
+        return self._plane_cache
 
     # -- socket plumbing ---------------------------------------------------------
 
@@ -381,10 +414,28 @@ class ServiceClient:
         The trace is loaded (or taken from ``trace=``) to fingerprint it —
         identity is *content*-addressed, so renaming a trace file does not
         defeat coalescing, and a changed file under the same name cannot
-        serve stale results.
+        serve stale results.  With the plane cache enabled (the default),
+        the fingerprint rides the ``(path, mtime, size)`` sidecar: the
+        first submit of a corpus hashes it once and every later submit —
+        and every daemon executing the job — reads the sidecar instead of
+        re-hashing the same bytes.
         """
-        trace = trace if trace is not None else request.load_trace()
-        fingerprint = trace.fingerprint()
+        if trace is None:
+            cache = self.plane_cache()
+            fingerprint = (
+                cache.cached_fingerprint(request.trace_path)
+                if cache is not None
+                else None
+            )
+            if fingerprint is None:
+                # Cold: load + hash once, then record the sidecar so the
+                # daemon (and the next submit) skips both.
+                trace = request.load_trace(cache=cache)
+                fingerprint = trace.fingerprint()
+        else:
+            # An explicitly passed trace may not match the file at
+            # trace_path, so its fingerprint must not seed the sidecar.
+            fingerprint = trace.fingerprint()
         # One grid decomposition serves everything: the id, the cell count
         # and the persisted digest list the daemon's overlap check reads
         # (so scheduling never has to re-derive store keys per tick).

@@ -73,6 +73,13 @@ from repro.store.resultstore import (
     DEFAULT_INFLIGHT_TTL_SECONDS,
     _atomic_replace,
 )
+from repro.trace.files import trace_name_for_path
+from repro.trace.planecache import (
+    CachedPlane,
+    PlaneKey,
+    TracePlaneCache,
+    coerce_plane_cache,
+)
 
 #: Legacy single-daemon heartbeat file name (pre-fleet); per-daemon
 #: heartbeats now live under ``daemons/<id>.json`` and this name remains
@@ -137,6 +144,14 @@ class ServiceDaemon:
     job_retain_seconds:
         Retention window for finished job records, applied by the startup
         ``queue gc`` sweep.
+    trace_cache:
+        The decoded-trace plane cache (see
+        :mod:`repro.trace.planecache`): ``None`` (default) opens
+        ``<root>/tracecache``, ``False`` disables, a path or open
+        :class:`~repro.trace.planecache.TracePlaneCache` overrides.  With
+        a warm cache the daemon executes a job without ever opening the
+        trace file: the fingerprint comes from the ``(path, mtime, size)``
+        sidecar and the decoded plane is attached as a read-only mmap.
     """
 
     def __init__(
@@ -154,6 +169,7 @@ class ServiceDaemon:
         socket: bool = True,
         job_retain_seconds: float = DEFAULT_JOB_RETAIN_SECONDS,
         inflight_ttl_seconds: float = DEFAULT_INFLIGHT_TTL_SECONDS,
+        trace_cache: Union[None, bool, str, os.PathLike, TracePlaneCache] = None,
     ) -> None:
         self.queue: JobQueue = open_service(root)
         if store is None:
@@ -161,6 +177,20 @@ class ServiceDaemon:
         self.store: ResultStore = (
             store if isinstance(store, ResultStore) else open_store(store)
         )
+        # The decoded-trace plane cache: shared by every daemon draining
+        # this service directory (and by submitting clients, for the
+        # fingerprint sidecar), so an N-daemon fleet decodes each corpus
+        # exactly once.  None -> <root>/tracecache; False disables.  An
+        # unusable cache degrades to trace loading rather than failing
+        # the daemon — it is an accelerator, never a dependency.
+        self.trace_cache: Optional[TracePlaneCache] = None
+        if trace_cache is not False:
+            if trace_cache is None or trace_cache is True:
+                trace_cache = Path(self.queue.root) / "tracecache"
+            try:
+                self.trace_cache = coerce_plane_cache(trace_cache)
+            except (OSError, ReproError):
+                self.trace_cache = None
         self.daemon_id = default_daemon_id() if daemon_id is None else str(daemon_id)
         if not _DAEMON_ID_RE.match(self.daemon_id):
             raise ServiceError(
@@ -404,19 +434,44 @@ class ServiceDaemon:
 
     # -- execution ---------------------------------------------------------------
 
+    def _resolve_sweep_input(self, request: SweepRequest, expected: str, jobs):
+        """The cheapest valid sweep input for a claimed job.
+
+        Warm path: when the fingerprint sidecar attests the on-disk file
+        still matches the submitted fingerprint *and* the plane cache holds
+        the decoded plane for this job grid, attach it — zero text parses,
+        zero hashing, only walked pages are ever read.  Otherwise load the
+        trace (the sidecar still skips the hash when only the plane is
+        missing) and let ``run_sweep(trace_cache=...)`` build the plane for
+        the next job over this corpus.
+        """
+        cache = self.trace_cache
+        if cache is not None and expected:
+            known = cache.cached_fingerprint(request.trace_path)
+            if known == expected:
+                plane = cache.get(
+                    PlaneKey.make(expected, jobs),
+                    trace_name=trace_name_for_path(request.trace_path),
+                )
+                if plane is not None:
+                    return plane
+        trace = request.load_trace(cache=cache)
+        fingerprint = trace.fingerprint()
+        if expected and fingerprint != expected:
+            raise ServiceError(
+                f"trace {request.trace_path} changed since submission "
+                f"(fingerprint {fingerprint[:12]}... != {expected[:12]}...)"
+            )
+        return trace
+
     def _execute(self, record: JobRecord) -> None:
         started = time.perf_counter()
+        sweep_input = None
         try:
             request = SweepRequest.from_wire(record.request)
-            trace = request.load_trace()
-            fingerprint = trace.fingerprint()
-            expected = str(record.request.get("trace_fingerprint", ""))
-            if expected and fingerprint != expected:
-                raise ServiceError(
-                    f"trace {request.trace_path} changed since submission "
-                    f"(fingerprint {fingerprint[:12]}... != {expected[:12]}...)"
-                )
             jobs = request.build_jobs()
+            expected = str(record.request.get("trace_fingerprint", ""))
+            sweep_input = self._resolve_sweep_input(request, expected, jobs)
             record.cells_total = len(jobs)
             record.cells_done = 0
             record.cells_cached = 0
@@ -444,13 +499,14 @@ class ServiceDaemon:
                     )
 
             outcome = run_sweep(
-                trace,
+                sweep_input,
                 jobs,
                 workers=self.sweep_workers,
                 store=self.store,
                 fused=True,
                 on_result=progress,
                 shm=self.shm,
+                trace_cache=self.trace_cache,
             )
             payload = outcome.merged().to_json()
             record.execute_seconds = time.perf_counter() - started
@@ -458,7 +514,7 @@ class ServiceDaemon:
                 {
                     "cached_jobs": outcome.cached_jobs,
                     "executed_jobs": outcome.executed_jobs,
-                    "trace": trace.name,
+                    "trace": outcome.trace_name,
                 }
             )
             self.queue.complete(record, payload)
@@ -483,6 +539,8 @@ class ServiceDaemon:
             with self._lock:
                 self.jobs_failed += 1
         finally:
+            if isinstance(sweep_input, CachedPlane):
+                sweep_input.close()
             self._clear_inflight(record.id)
             server = self.socket_server
             if server is not None:
@@ -549,6 +607,9 @@ class ServiceDaemon:
             "socket": str(server.path) if server is not None and server.running else None,
             "inflight_jobs": [job_id[:12] for job_id in inflight],
             "store": self.store.stats(),
+            "trace_cache": (
+                self.trace_cache.stats() if self.trace_cache is not None else None
+            ),
         }
 
     def _write_heartbeat(self, note: Optional[str] = None) -> None:

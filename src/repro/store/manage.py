@@ -253,31 +253,18 @@ class GcReport:
         )
 
 
-def gc_store(
-    store: ResultStore,
+def collect_garbage(
+    records: Iterable[ArtifactRecord],
+    objects_dir: Path,
     keep_fingerprints: Optional[Iterable[str]] = None,
     dry_run: bool = False,
     max_bytes: Optional[int] = None,
 ) -> GcReport:
-    """Remove garbage (and, with a keep-list, other traces') artifacts.
+    """The shared gc policy over pre-scanned records (store and plane cache).
 
-    Always collected: orphaned temp files, corrupt artifacts and
-    mis-addressed artifacts.  With ``keep_fingerprints`` every valid
-    artifact whose trace fingerprint matches none of the entries is
-    collected too.  Entries are *prefixes* of the full 64-character
-    fingerprint (``store ls`` prints a 12-character prefix, so the natural
-    copy-paste workflow keeps working); entries that match no artifact are
-    reported in :attr:`GcReport.unmatched_keeps` — including the case where
-    nothing matches at all, which empties the store (it stays valid and the
-    next sweep re-simulates).  Foreign files are reported by
-    :func:`verify_store` but never deleted.
-
-    ``max_bytes`` adds a *size budget*: after the keep-list filtering, valid
-    artifacts are evicted oldest-modification-time-first (ties broken by
-    path, so the order is deterministic) until the survivors' total size
-    fits the budget.  Evicted cells are only a cache loss — the next sweep
-    re-simulates them — which makes long unattended campaigns self-limiting
-    without maintaining explicit keep lists.
+    Both content-addressed directories — the result store and the trace
+    plane cache — garbage-collect identically; only the scan that produces
+    the records differs.  See :func:`gc_store` for the full semantics.
     """
     keep = (
         None
@@ -298,7 +285,7 @@ def gc_store(
 
     removed: List[ArtifactRecord] = []
     survivors: List[ArtifactRecord] = []
-    for record in scan_store(store):
+    for record in records:
         if record.status in (STATUS_TEMP, STATUS_CORRUPT, STATUS_MIS_ADDRESSED):
             collect = True
         elif record.status == STATUS_OK:
@@ -344,9 +331,8 @@ def gc_store(
             survivors = [r for r in survivors if r.path not in evicted_paths]
     kept = len(survivors)
     if not dry_run:
-        objects = store.root / _OBJECTS_DIR
-        if objects.is_dir():
-            for bucket in sorted(objects.iterdir()):
+        if objects_dir.is_dir():
+            for bucket in sorted(objects_dir.iterdir()):
                 if bucket.is_dir() and not any(bucket.iterdir()):
                     bucket.rmdir()
     return GcReport(
@@ -356,6 +342,41 @@ def gc_store(
         dry_run=dry_run,
         unmatched_keeps=tuple(p for p in (keep or ()) if p not in matched_keeps),
         budget_evicted=budget_evicted,
+    )
+
+
+def gc_store(
+    store: ResultStore,
+    keep_fingerprints: Optional[Iterable[str]] = None,
+    dry_run: bool = False,
+    max_bytes: Optional[int] = None,
+) -> GcReport:
+    """Remove garbage (and, with a keep-list, other traces') artifacts.
+
+    Always collected: orphaned temp files, corrupt artifacts and
+    mis-addressed artifacts.  With ``keep_fingerprints`` every valid
+    artifact whose trace fingerprint matches none of the entries is
+    collected too.  Entries are *prefixes* of the full 64-character
+    fingerprint (``store ls`` prints a 12-character prefix, so the natural
+    copy-paste workflow keeps working); entries that match no artifact are
+    reported in :attr:`GcReport.unmatched_keeps` — including the case where
+    nothing matches at all, which empties the store (it stays valid and the
+    next sweep re-simulates).  Foreign files are reported by
+    :func:`verify_store` but never deleted.
+
+    ``max_bytes`` adds a *size budget*: after the keep-list filtering, valid
+    artifacts are evicted oldest-modification-time-first (ties broken by
+    path, so the order is deterministic) until the survivors' total size
+    fits the budget.  Evicted cells are only a cache loss — the next sweep
+    re-simulates them — which makes long unattended campaigns self-limiting
+    without maintaining explicit keep lists.
+    """
+    return collect_garbage(
+        scan_store(store),
+        store.root / _OBJECTS_DIR,
+        keep_fingerprints=keep_fingerprints,
+        dry_run=dry_run,
+        max_bytes=max_bytes,
     )
 
 

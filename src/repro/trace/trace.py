@@ -274,6 +274,18 @@ class Trace:
             self._fingerprint_cache = digest.hexdigest()
         return self._fingerprint_cache
 
+    def seed_fingerprint(self, fingerprint: str) -> None:
+        """Install an externally-known content digest into the memo.
+
+        Used by :func:`~repro.trace.files.load_trace_file` when a validated
+        ``(path, mtime, size)`` sidecar already knows the file's fingerprint,
+        so a warm load skips the full-array hash.  Only seed digests that
+        were originally computed by :meth:`fingerprint` over this same
+        content; an already-computed memo is never overwritten.
+        """
+        if self._fingerprint_cache is None:
+            self._fingerprint_cache = str(fingerprint)
+
     def unique_blocks(self, block_size: int) -> int:
         """Number of distinct blocks touched at the given block size."""
         if len(self) == 0:

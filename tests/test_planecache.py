@@ -1,0 +1,528 @@
+"""Tests for the content-addressed decoded-trace plane cache.
+
+The contract: a cached, mmap-attached plane is *byte-identical* to a cold
+text decode — the same columnar arrays, the same sweep results across the
+serial, pooled, shared-memory, per-job and store-resume execution paths —
+and every failure mode of the cache (corruption, concurrent writers,
+schema drift, gc races) degrades to a re-decode, never to wrong results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import build_grid_jobs, run_sweep
+from repro.engine.shmplane import LocalChunkSource, SharedTracePlane
+from repro.errors import StoreError
+from repro.service.api import ServiceClient, SweepRequest
+from repro.service.daemon import ServiceDaemon
+from repro.store import open_store
+from repro.trace import files as trace_files
+from repro.trace.din import write_din
+from repro.trace.files import load_trace_file, trace_name_for_path
+from repro.trace.planecache import (
+    PLANE_SCHEMA_VERSION,
+    CachedPlane,
+    PlaneKey,
+    TracePlaneCache,
+    coerce_plane_cache,
+    gc_plane_cache,
+    open_plane_cache,
+    scan_plane_cache,
+    verify_plane_cache,
+    _MAGIC,
+    _PREAMBLE,
+    _align,
+)
+from repro.trace.trace import Trace
+from repro.workloads.synthetic import WorkingSetGenerator
+
+SET_SIZES = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def cache_trace() -> Trace:
+    return WorkingSetGenerator(hot_bytes=2048, cold_bytes=1 << 16).generate(
+        3000, seed=11
+    ).with_name("planecached")
+
+
+@pytest.fixture(scope="module")
+def grid_jobs():
+    return build_grid_jobs([8, 32], [1, 2], SET_SIZES, policies=("fifo", "lru"))
+
+
+@pytest.fixture()
+def cache(tmp_path) -> TracePlaneCache:
+    return open_plane_cache(tmp_path / "pc")
+
+
+def _result_rows(outcome):
+    return [results.as_rows() for results in outcome.results]
+
+
+class TestPlaneKey:
+    def test_deterministic_across_equivalent_grids(self, cache_trace, grid_jobs):
+        a = PlaneKey.make(cache_trace.fingerprint(), grid_jobs)
+        b = PlaneKey.make(cache_trace.fingerprint(), list(reversed(grid_jobs)))
+        assert a == b
+        assert a.digest == b.digest
+
+    def test_digest_distinguishes_requirements(self, cache_trace, grid_jobs):
+        base = PlaneKey.make(cache_trace.fingerprint(), grid_jobs)
+        other_chunk = PlaneKey.make(cache_trace.fingerprint(), grid_jobs, 1024)
+        other_grid = PlaneKey.make(
+            cache_trace.fingerprint(), build_grid_jobs([16], [1], SET_SIZES)
+        )
+        assert len({base.digest, other_chunk.digest, other_grid.digest}) == 3
+
+    def test_describe_roundtrip(self, cache_trace, grid_jobs):
+        key = PlaneKey.make(cache_trace.fingerprint(), grid_jobs)
+        assert PlaneKey.from_description(key.describe()) == key
+
+    def test_no_runs_offsets_without_collapse(self, cache_trace, grid_jobs):
+        key = PlaneKey.make(cache_trace.fingerprint(), grid_jobs, collapse=False)
+        assert key.runs_offsets == ()
+
+
+class TestCacheHitMiss:
+    def test_cold_get_is_a_miss(self, cache, cache_trace, grid_jobs):
+        key = PlaneKey.make(cache_trace.fingerprint(), grid_jobs)
+        assert cache.get(key) is None
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["corrupt"] == 0
+
+    def test_ensure_then_hit(self, cache, cache_trace, grid_jobs):
+        with cache.ensure(cache_trace, grid_jobs) as plane:
+            assert plane.fingerprint() == cache_trace.fingerprint()
+        stats = cache.stats()
+        assert stats["puts"] == 1 and stats["misses"] == 1
+        key = PlaneKey.make(cache_trace.fingerprint(), grid_jobs)
+        with cache.get(key) as plane:
+            assert plane is not None
+        assert cache.stats()["hits"] == 1
+
+    def test_arrays_byte_equal_to_cold_decode(self, cache, cache_trace, grid_jobs):
+        plane = cache.ensure(cache_trace, grid_jobs)
+        local = LocalChunkSource(cache_trace, chunk_size=plane.chunk_size)
+        offsets = PlaneKey.make(cache_trace.fingerprint(), grid_jobs).offsets
+        for chunk in range(plane.num_chunks):
+            for offset in offsets:
+                assert np.array_equal(
+                    plane.blocks(chunk, offset), local.blocks(chunk, offset)
+                )
+                cached_runs = plane.runs(chunk, offset)
+                local_runs = local.runs(chunk, offset)
+                assert np.array_equal(cached_runs[0], local_runs[0])
+                assert np.array_equal(cached_runs[1], local_runs[1])
+        plane.close()
+
+    def test_trace_name_override_for_renamed_files(self, cache, cache_trace, grid_jobs):
+        cache.ensure(cache_trace, grid_jobs).close()
+        key = PlaneKey.make(cache_trace.fingerprint(), grid_jobs)
+        with cache.get(key, trace_name="renamed") as plane:
+            assert plane.trace_name == "renamed"
+
+    def test_views_are_read_only(self, cache, cache_trace, grid_jobs):
+        with cache.ensure(cache_trace, grid_jobs) as plane:
+            blocks = plane.blocks(0, 3)
+            with pytest.raises(ValueError):
+                blocks[0] = 1
+
+    def test_descriptor_pickles_and_attaches(self, cache, cache_trace, grid_jobs):
+        source = cache.ensure(cache_trace, grid_jobs)
+        descriptor = pickle.loads(pickle.dumps(source.descriptor()))
+        with CachedPlane.attach(descriptor) as plane:
+            assert np.array_equal(plane.blocks(0, 3), source.blocks(0, 3))
+            assert plane.trace_name == source.trace_name
+        source.close()
+
+
+class TestCorruption:
+    def _warm(self, cache, trace, jobs):
+        cache.ensure(trace, jobs).close()
+        return PlaneKey.make(trace.fingerprint(), jobs)
+
+    def test_truncation_reads_as_miss(self, cache, cache_trace, grid_jobs):
+        key = self._warm(cache, cache_trace, grid_jobs)
+        path = cache.path_for(key)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        assert cache.get(key) is None
+        assert cache.stats()["corrupt"] == 1
+        # A re-put repairs the artifact in place.
+        cache.put(key, trace=cache_trace)
+        assert cache.get(key) is not None
+
+    def test_garbage_magic_reads_as_miss(self, cache, cache_trace, grid_jobs):
+        key = self._warm(cache, cache_trace, grid_jobs)
+        with open(cache.path_for(key), "r+b") as handle:
+            handle.write(b"NOTAPLANE!!!")
+        assert cache.get(key) is None
+        assert cache.stats()["corrupt"] == 1
+
+    def test_payload_flip_survives_get_but_fails_verify(
+        self, cache, cache_trace, grid_jobs
+    ):
+        # get() validates structure, not the payload hash (that is verify's
+        # job, mirroring the result store's get-vs-verify split).
+        key = self._warm(cache, cache_trace, grid_jobs)
+        path = cache.path_for(key)
+        with open(path, "r+b") as handle:
+            handle.seek(os.path.getsize(path) - 1)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        report = verify_plane_cache(cache)
+        assert not report.clean
+        assert any(record.status == "corrupt" for record in report.problems)
+
+    def test_future_schema_reads_as_miss(self, cache, cache_trace, grid_jobs):
+        # Mirrors the ResultsFrame v1/v2 discipline: an artifact stamped by
+        # a future build must be refused (a miss), never misread.
+        key = self._warm(cache, cache_trace, grid_jobs)
+        path = cache.path_for(key)
+        raw = path.read_bytes()
+        magic, header_len = _PREAMBLE.unpack_from(raw)
+        assert magic == _MAGIC
+        old_base = _align(_PREAMBLE.size + header_len)
+        header = json.loads(raw[_PREAMBLE.size:_PREAMBLE.size + header_len])
+        assert header["schema"] == PLANE_SCHEMA_VERSION
+        header["schema"] = 99
+        blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+        new_base = _align(_PREAMBLE.size + len(blob))
+        path.write_bytes(
+            _PREAMBLE.pack(_MAGIC, len(blob))
+            + blob
+            + b"\0" * (new_base - _PREAMBLE.size - len(blob))
+            + raw[old_base:]
+        )
+        assert cache.get(key) is None
+        assert cache.stats()["corrupt"] == 1
+
+    def test_unknown_header_fields_are_tolerated(self, cache, cache_trace, grid_jobs):
+        # Forward-compat within a readable schema: extra fields a newer
+        # minor build might add must not break attach.
+        key = self._warm(cache, cache_trace, grid_jobs)
+        path = cache.path_for(key)
+        raw = path.read_bytes()
+        _magic, header_len = _PREAMBLE.unpack_from(raw)
+        old_base = _align(_PREAMBLE.size + header_len)
+        header = json.loads(raw[_PREAMBLE.size:_PREAMBLE.size + header_len])
+        header["future_hint"] = {"anything": True}
+        # Array offsets are payload-relative, so the header may grow freely:
+        # rebuild the file with the new header and the payload verbatim.
+        blob = json.dumps(header, separators=(",", ":")).encode("ascii")
+        new_base = _align(_PREAMBLE.size + len(blob))
+        path.write_bytes(
+            _PREAMBLE.pack(_MAGIC, len(blob))
+            + blob
+            + b"\0" * (new_base - _PREAMBLE.size - len(blob))
+            + raw[old_base:]
+        )
+        with cache.get(key) as plane:
+            assert plane is not None
+
+    def test_concurrent_writers_race_benignly(self, cache, cache_trace, grid_jobs):
+        key = PlaneKey.make(cache_trace.fingerprint(), grid_jobs)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def writer():
+            try:
+                barrier.wait()
+                cache.put(key, trace=cache_trace)
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        with cache.get(key) as plane:
+            assert plane is not None
+        assert verify_plane_cache(cache).clean
+        # No orphaned temp files survive the race.
+        assert not [p for p in cache.root.rglob(".tmp-*")]
+
+
+class TestGc:
+    def test_views_survive_gc_after_attach(self, cache, cache_trace, grid_jobs):
+        plane = cache.ensure(cache_trace, grid_jobs)
+        before = plane.blocks(0, 3).copy()
+        report = gc_plane_cache(cache, max_bytes=0)
+        assert report.budget_evicted == 1
+        assert len(cache.artifact_paths()) == 0
+        # The mmap holds the pages; established views stay readable.
+        assert np.array_equal(plane.blocks(0, 3), before)
+        plane.close()
+
+    def test_keep_fingerprints(self, cache, cache_trace, grid_jobs):
+        cache.ensure(cache_trace, grid_jobs).close()
+        other = WorkingSetGenerator(hot_bytes=1024, cold_bytes=4096).generate(
+            500, seed=9
+        ).with_name("other")
+        cache.ensure(other, grid_jobs).close()
+        report = gc_plane_cache(
+            cache, keep_fingerprints=[cache_trace.fingerprint()[:12]]
+        )
+        assert len(report.removed) == 1
+        key = PlaneKey.make(cache_trace.fingerprint(), grid_jobs)
+        assert cache.contains(key)
+
+    def test_scan_classifies_temp_and_foreign(self, cache, cache_trace, grid_jobs):
+        cache.ensure(cache_trace, grid_jobs).close()
+        (cache.objects_dir / "aa").mkdir(exist_ok=True)
+        (cache.objects_dir / "aa" / ".tmp-feedface-1").write_bytes(b"partial")
+        (cache.root / "README").write_text("hands off")
+        statuses = sorted(record.status for record in scan_plane_cache(cache))
+        assert statuses == ["foreign", "ok", "temp"]
+        # gc removes the temp, never the foreign file.
+        gc_plane_cache(cache)
+        assert (cache.root / "README").exists()
+        assert not list(cache.objects_dir.rglob(".tmp-*"))
+
+
+class TestSidecars:
+    def _din(self, tmp_path, trace):
+        path = tmp_path / "sidecar.din"
+        write_din(trace, path)
+        return path
+
+    def test_record_and_recall(self, cache, tmp_path, cache_trace):
+        path = self._din(tmp_path, cache_trace)
+        assert cache.cached_fingerprint(path) is None
+        loaded = load_trace_file(path, cache=cache)
+        assert cache.cached_fingerprint(path) == loaded.fingerprint()
+        assert cache.stats()["sidecar_hits"] == 1
+
+    def test_invalidated_by_content_change(self, cache, tmp_path, cache_trace):
+        path = self._din(tmp_path, cache_trace)
+        load_trace_file(path, cache=cache)
+        assert cache.cached_fingerprint(path) is not None
+        with open(path, "a") as handle:
+            handle.write("r 1000\n")
+        assert cache.cached_fingerprint(path) is None
+
+    def test_warm_load_skips_hash(self, cache, tmp_path, cache_trace):
+        path = self._din(tmp_path, cache_trace)
+        first = load_trace_file(path, cache=cache)
+        warm = load_trace_file(path, cache=cache)
+        # The memo was seeded from the sidecar: fingerprint() returns
+        # without touching the address arrays.
+        assert warm._fingerprint_cache == first.fingerprint()
+
+    def test_decode_counter_counts_parses(self, cache, tmp_path, cache_trace):
+        path = self._din(tmp_path, cache_trace)
+        before = trace_files.decode_count()
+        load_trace_file(path, cache=cache)
+        load_trace_file(path, cache=cache)
+        assert trace_files.decode_count() - before == 2
+
+    def test_trace_name_for_path(self):
+        assert trace_name_for_path("/a/b/corpus.din") == "corpus"
+        assert trace_name_for_path("corpus.din.gz") == "corpus"
+        assert trace_name_for_path("plain.csv") == "plain"
+
+
+class TestCoercion:
+    def test_none_and_false_disable(self):
+        assert coerce_plane_cache(None) is None
+        assert coerce_plane_cache(False) is None
+
+    def test_true_needs_a_path(self):
+        with pytest.raises(StoreError):
+            coerce_plane_cache(True)
+
+    def test_path_opens_and_instance_passes_through(self, tmp_path):
+        cache = coerce_plane_cache(tmp_path / "pc")
+        assert isinstance(cache, TracePlaneCache)
+        assert coerce_plane_cache(cache) is cache
+
+    def test_foreign_manifest_refused(self, tmp_path):
+        root = tmp_path / "pc"
+        root.mkdir()
+        (root / "planecache.json").write_text(json.dumps({"schema": 99}))
+        with pytest.raises(StoreError):
+            open_plane_cache(root)
+
+
+class TestSweepIdentity:
+    def test_all_paths_byte_identical(self, tmp_path, cache_trace, grid_jobs):
+        cachedir = tmp_path / "pc"
+        base = run_sweep(cache_trace, grid_jobs)
+        variants = {
+            "serial-cache": dict(trace_cache=cachedir),
+            "pooled": dict(workers=2),
+            "pooled-cache": dict(workers=2, trace_cache=cachedir),
+            "shm-cache": dict(workers=2, shm=True, trace_cache=cachedir),
+            "perjob-cache": dict(fused=False, trace_cache=cachedir),
+        }
+        for label, kwargs in variants.items():
+            outcome = run_sweep(cache_trace, grid_jobs, **kwargs)
+            assert _result_rows(outcome) == _result_rows(base), label
+            assert outcome.trace_name == base.trace_name
+
+    def test_plane_input_serial_and_pooled(self, tmp_path, cache_trace, grid_jobs):
+        cache = open_plane_cache(tmp_path / "pc")
+        base = run_sweep(cache_trace, grid_jobs)
+        key = PlaneKey.make(cache_trace.fingerprint(), grid_jobs)
+        cache.ensure(cache_trace, grid_jobs).close()
+        for workers in (1, 2):
+            with cache.get(key) as plane:
+                outcome = run_sweep(plane, grid_jobs, workers=workers)
+            assert _result_rows(outcome) == _result_rows(base)
+            assert outcome.trace_name == cache_trace.name
+
+    def test_store_resume_with_cache(self, tmp_path, cache_trace, grid_jobs):
+        cachedir, storedir = tmp_path / "pc", tmp_path / "store"
+        base = run_sweep(cache_trace, grid_jobs)
+        run_sweep(
+            cache_trace, grid_jobs[:3], store=open_store(storedir),
+            trace_cache=cachedir,
+        )
+        resumed = run_sweep(
+            cache_trace, grid_jobs, workers=2, store=open_store(storedir),
+            trace_cache=cachedir,
+        )
+        assert resumed.cached_jobs == 3
+        assert _result_rows(resumed) == _result_rows(base)
+
+    def test_plane_input_with_store_uses_plane_fingerprint(
+        self, tmp_path, cache_trace, grid_jobs
+    ):
+        cache = open_plane_cache(tmp_path / "pc")
+        store = open_store(tmp_path / "store")
+        run_sweep(cache_trace, grid_jobs, store=store, trace_cache=cache)
+        key = PlaneKey.make(cache_trace.fingerprint(), grid_jobs)
+        with cache.get(key) as plane:
+            outcome = run_sweep(plane, grid_jobs, store=store)
+        assert outcome.cached_jobs == len(grid_jobs)
+
+    def test_unusable_cache_degrades_gracefully(self, tmp_path, cache_trace, grid_jobs):
+        bogus = tmp_path / "bogus"
+        bogus.mkdir()
+        (bogus / "planecache.json").write_text(json.dumps({"schema": 99}))
+        base = run_sweep(cache_trace, grid_jobs)
+        outcome = run_sweep(cache_trace, grid_jobs, trace_cache=bogus)
+        assert _result_rows(outcome) == _result_rows(base)
+
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=(1 << 22) - 1),
+            min_size=1,
+            max_size=300,
+        ),
+        chunk_size=st.sampled_from([7, 64, 65536]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_hypothesis_oracle_cache_vs_cold(self, tmp_path_factory, addresses, chunk_size):
+        trace = Trace(np.array(addresses, dtype=np.int64), name="hyp")
+        jobs = build_grid_jobs([8, 32], [1, 2], (1, 2, 4), policies=("lru",))
+        cachedir = tmp_path_factory.mktemp("hyp-pc")
+        cold = run_sweep(trace, jobs, chunk_size=chunk_size)
+        warm_writer = run_sweep(
+            trace, jobs, chunk_size=chunk_size, trace_cache=cachedir
+        )
+        warm_reader = run_sweep(
+            trace, jobs, chunk_size=chunk_size, trace_cache=cachedir
+        )
+        assert _result_rows(warm_writer) == _result_rows(cold)
+        assert _result_rows(warm_reader) == _result_rows(cold)
+
+
+class TestPublishFromSource:
+    def test_shm_publish_copies_from_cached_plane(
+        self, cache, cache_trace, grid_jobs
+    ):
+        with cache.ensure(cache_trace, grid_jobs) as source:
+            plane = SharedTracePlane.publish(
+                None, grid_jobs, source=source
+            )
+            try:
+                assert np.array_equal(plane.blocks(0, 3), source.blocks(0, 3))
+                assert plane.trace_name == source.trace_name
+            finally:
+                plane.destroy()
+
+
+class TestServiceIntegration:
+    def _service(self, tmp_path, trace):
+        trace_path = tmp_path / "svc.din"
+        write_din(trace, trace_path)
+        return tmp_path / "svc", str(trace_path)
+
+    def test_fleet_decodes_once(self, tmp_path, cache_trace):
+        root, trace_path = self._service(tmp_path, cache_trace)
+        client = ServiceClient(root, create=True)
+        client.submit(SweepRequest(
+            trace_path=trace_path, block_sizes=(8, 32),
+            associativities=(1, 2), max_sets=8,
+        ))
+        before = trace_files.decode_count()
+        ServiceDaemon(root, daemon_id="first", socket=False).run(drain=True)
+        assert trace_files.decode_count() - before == 1
+        # A different grid over the same corpus: the plane key matches (same
+        # block sizes), so the second daemon attaches and never parses.
+        client.submit(SweepRequest(
+            trace_path=trace_path, block_sizes=(8, 32),
+            associativities=(1, 2), max_sets=8, policies=("lru",),
+        ))
+        second = ServiceDaemon(root, daemon_id="second", socket=False)
+        second.run(drain=True)
+        assert trace_files.decode_count() - before == 1
+        assert second.trace_cache.stats()["hits"] == 1
+
+    def test_submit_sidecar_skips_second_hash(self, tmp_path, cache_trace):
+        root, trace_path = self._service(tmp_path, cache_trace)
+        client = ServiceClient(root, create=True)
+        before = trace_files.decode_count()
+        client.submit(SweepRequest(trace_path=trace_path, max_sets=4))
+        assert trace_files.decode_count() - before == 1
+        # The submit recorded the sidecar: a fresh client re-submitting the
+        # same (even a different) grid never reloads the file.
+        other = ServiceClient(root)
+        other.submit(SweepRequest(trace_path=trace_path, max_sets=8))
+        assert trace_files.decode_count() - before == 1
+
+    def test_changed_trace_fails_not_serves_stale(self, tmp_path, cache_trace):
+        root, trace_path = self._service(tmp_path, cache_trace)
+        client = ServiceClient(root, create=True)
+        response = client.submit(SweepRequest(trace_path=trace_path, max_sets=4))
+        with open(trace_path, "a") as handle:
+            handle.write("r 4\n")
+        ServiceDaemon(root, daemon_id="d", socket=False).run(drain=True)
+        record = client.queue.find(response["job_id"])
+        assert record.state == "failed"
+        assert "changed since submission" in record.error
+
+    def test_heartbeat_and_stats_surface_counters(self, tmp_path, cache_trace):
+        root, trace_path = self._service(tmp_path, cache_trace)
+        client = ServiceClient(root, create=True)
+        client.submit(SweepRequest(trace_path=trace_path, max_sets=4))
+        daemon = ServiceDaemon(root, daemon_id="counted", socket=False)
+        daemon.run(drain=True)
+        payload = daemon.heartbeat()
+        assert payload["trace_cache"]["puts"] == 1
+        stats = client.stats()
+        assert stats["daemons"]["counted"]["trace_cache"]["puts"] == 1
+
+    def test_no_trace_cache_disables(self, tmp_path, cache_trace):
+        root, trace_path = self._service(tmp_path, cache_trace)
+        client = ServiceClient(root, create=True, trace_cache=False)
+        client.submit(SweepRequest(trace_path=trace_path, max_sets=4))
+        daemon = ServiceDaemon(root, daemon_id="plain", socket=False, trace_cache=False)
+        daemon.run(drain=True)
+        assert daemon.trace_cache is None
+        assert daemon.heartbeat()["trace_cache"] is None
+        assert not (root / "tracecache").exists()
