@@ -738,3 +738,58 @@ def test_micro_served_warm_corpus_latency(tmp_path, pr9_report):
         f"warm served p50 ({warm_p50:.3f}s) regressed past the cold "
         f"serve ({cold_seconds:.3f}s) plus tolerance"
     )
+
+
+def test_micro_metrics_overhead_on_fused_hot_path(pr10_report):
+    """The telemetry plane must cost < 2% on the fused hot path.
+
+    Instruments fire per cell and per sweep, never per access, so the fused
+    executor's inner loops are untouched; this pins that property.  Best-of-3
+    fused sweeps with the registry enabled vs disabled
+    (``set_metrics_enabled``), byte-identical outputs required, the
+    enabled/disabled ratio recorded in BENCH_PR10.json.
+    """
+    from repro.obs.metrics import set_metrics_enabled
+
+    trace = SequentialStream(stride=1, region_bytes=1 << 17).generate(600_000, seed=2)
+    jobs = build_grid_jobs([16, 64], [2, 4], SET_SIZES)
+
+    def timed_sweep():
+        start = time.perf_counter()
+        outcome = run_sweep(trace, jobs, fused=True)
+        return time.perf_counter() - start, outcome
+
+    timed_sweep()  # warm caches before either arm is measured
+
+    enabled_samples, disabled_samples = [], []
+    reference = None
+    for round_index in range(5):
+        # Alternate which arm runs first so cache/allocator warm-up cannot
+        # systematically favour one of them.
+        arms = [True, False] if round_index % 2 == 0 else [False, True]
+        for enabled in arms:
+            if not enabled:
+                set_metrics_enabled(False)
+            try:
+                seconds, outcome = timed_sweep()
+            finally:
+                set_metrics_enabled(True)
+            (enabled_samples if enabled else disabled_samples).append(seconds)
+            if reference is None:
+                reference = outcome.merged().to_json()
+            else:
+                assert outcome.merged().to_json() == reference
+
+    enabled_best = min(enabled_samples)
+    disabled_best = min(disabled_samples)
+    ratio = enabled_best / disabled_best
+    _, profiled = timed_sweep()
+    pr10_report["pr10_metrics_overhead_ratio"] = ratio
+    pr10_report["pr10_sweep_phases_seconds"] = {
+        name: round(seconds, 6) for name, seconds in sorted(profiled.phases.items())
+    }
+    assert ratio < 1.02, (
+        f"metrics-enabled fused sweep ({enabled_best:.3f}s) exceeds the "
+        f"disabled baseline ({disabled_best:.3f}s) by more than 2% "
+        f"({ratio:.4f}x)"
+    )

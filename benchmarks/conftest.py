@@ -132,6 +132,25 @@ def pr9_report():
 
 
 @pytest.fixture(scope="session")
+def pr10_report():
+    """Collector for the telemetry plane benchmark's measurements.
+
+    Written as ``BENCH_PR10.json`` (path overridable via ``REPRO_BENCH_PR10``)
+    at session end: the fused hot-path overhead ratio with the metrics
+    registry enabled vs disabled (pinned < 2%) and a per-phase breakdown of
+    one instrumented sweep — the observability counterpart to the
+    BENCH_PR4-PR9 trajectories.
+    """
+    data = {}
+    yield data
+    if data:
+        path = os.environ.get("REPRO_BENCH_PR10", "BENCH_PR10.json")
+        with open(path, "w", encoding="ascii") as handle:
+            json.dump(dict(sorted(data.items())), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+@pytest.fixture(scope="session")
 def experiment_runner() -> ExperimentRunner:
     """The paper's evaluation grid at a Python-tractable trace length."""
     return ExperimentRunner(

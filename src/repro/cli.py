@@ -67,6 +67,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro._version import __version__
@@ -91,8 +92,9 @@ from repro.errors import (
     StoreError,
 )
 from repro.explore import CacheTuner, EnergyModel, TuningConstraints, pareto_front_frame
+from repro.obs.metrics import quantile_from_snapshot, render_exposition
 from repro.service import ServiceClient, ServiceDaemon, SweepRequest
-from repro.service.api import doubling_set_sizes
+from repro.service.api import doubling_set_sizes, fleet_metrics
 from repro.service.queue import (
     DEFAULT_JOB_RETAIN_SECONDS,
     DEFAULT_LEASE_SECONDS,
@@ -317,6 +319,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"sweep finished in {outcome.elapsed_seconds:.3f}s with {outcome.workers} worker(s)",
         file=sys.stderr,
     )
+    if args.profile:
+        # merged() already ran above, so the merge phase is accounted for.
+        phases = outcome.phases
+        covered = sum(phases.values())
+        print("profile (exclusive seconds per phase):", file=sys.stderr)
+        for name, seconds in sorted(phases.items(), key=lambda item: -item[1]):
+            share = (seconds / covered * 100.0) if covered else 0.0
+            print(f"  {name:<14} {seconds:9.4f}s  {share:5.1f}%", file=sys.stderr)
+        print(
+            f"  {'covered':<14} {covered:9.4f}s of "
+            f"{outcome.elapsed_seconds:.4f}s wall",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -825,9 +840,118 @@ def _cmd_queue_stats(args: argparse.Namespace) -> int:
                     f"{tc.get('misses', 0)} miss(es)"
                     f"/{tc.get('sidecar_hits', 0)} sidecar hit(s)"
                 )
-            if entry.get("note"):
-                line += f" ({entry['note']})"
+            notes = entry.get("notes") or (
+                [entry["note"]] if entry.get("note") else []
+            )
+            if notes:
+                line += f" ({'; '.join(str(note) for note in notes)})"
             print(line)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    queue = open_service(args.service_dir, create=False)
+    response = fleet_metrics(queue)
+    if args.format == "text":
+        # Prometheus-style exposition of the fleet-wide merge: pipe it to a
+        # file and any textfile-collector-shaped scraper ingests it as-is.
+        sys.stdout.write(render_exposition(response.get("fleet") or {}))
+        return 0
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def _counter_hit_rate(counters, hits_key: str, misses_key: str) -> Optional[float]:
+    hits = float(counters.get(hits_key, 0) or 0)
+    misses = float(counters.get(misses_key, 0) or 0)
+    total = hits + misses
+    return (hits / total) if total else None
+
+
+def _claim_latency_text(metrics) -> str:
+    histogram = (metrics.get("histograms") or {}).get("queue_claim_latency_seconds")
+    if not histogram:
+        return ""
+    p50 = quantile_from_snapshot(histogram, 0.5)
+    p95 = quantile_from_snapshot(histogram, 0.95)
+    if p50 is None or p95 is None:
+        return ""
+    return f", claim p50/p95 {p50 * 1000:.1f}/{p95 * 1000:.1f}ms"
+
+
+def _render_queue_top(service_dir: str, response) -> None:
+    counts = response["queue"]
+    states = ", ".join(f"{counts[state]} {state}" for state in JOB_STATES)
+    daemons = response.get("daemons") or {}
+    fleet = response.get("fleet_metrics") or {}
+    fleet_counters = fleet.get("counters") or {}
+    print(
+        f"{service_dir}: {states}; "
+        f"{response.get('live_daemons', 0)}/{len(daemons)} daemon(s) live"
+    )
+    line = (
+        f"fleet: {fleet_counters.get('queue_claimed_total', 0)} claimed, "
+        f"{fleet_counters.get('queue_completed_total', 0)} done, "
+        f"{fleet_counters.get('queue_failed_total', 0)} failed"
+        f"{_claim_latency_text(fleet)}"
+    )
+    store_rate = _counter_hit_rate(
+        fleet_counters, "store_hits_total", "store_misses_total"
+    )
+    if store_rate is not None:
+        line += f", store hit rate {store_rate:.0%}"
+    plane_rate = _counter_hit_rate(
+        fleet_counters, "plane_cache_hits_total", "plane_cache_misses_total"
+    )
+    if plane_rate is not None:
+        line += f", plane cache hit rate {plane_rate:.0%}"
+    print(line)
+    for daemon_id, entry in sorted(daemons.items()):
+        jobs_done = int(entry.get("jobs_done", 0) or 0)
+        try:
+            uptime = float(entry.get("updated_at", 0) or 0) - float(
+                entry.get("started_at", 0) or 0
+            )
+        except (TypeError, ValueError):
+            uptime = 0.0
+        rate = jobs_done / uptime if uptime > 0 else 0.0
+        metrics = entry.get("metrics") or {}
+        counters = metrics.get("counters") or {}
+        line = (
+            f"  {daemon_id}: {'live' if entry.get('alive') else 'dead'}, "
+            f"{jobs_done} job(s), {rate:.2f} jobs/s, cells "
+            f"{entry.get('cells_executed', 0)} fresh/"
+            f"{entry.get('cells_cached', 0)} cached"
+            f"{_claim_latency_text(metrics)}"
+        )
+        store_rate = _counter_hit_rate(
+            counters, "store_hits_total", "store_misses_total"
+        )
+        if store_rate is not None:
+            line += f", store {store_rate:.0%}"
+        plane_rate = _counter_hit_rate(
+            counters, "plane_cache_hits_total", "plane_cache_misses_total"
+        )
+        if plane_rate is not None:
+            line += f", plane {plane_rate:.0%}"
+        notes = entry.get("notes") or ([entry["note"]] if entry.get("note") else [])
+        if notes:
+            line += f" ({'; '.join(str(note) for note in notes)})"
+        print(line)
+
+
+def _cmd_queue_top(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.service_dir, transport=args.transport)
+    iterations = max(int(args.iterations), 1)
+    for iteration in range(iterations):
+        if iteration:
+            time.sleep(max(float(args.interval), 0.0))
+            print()
+        response = client.stats()
+        if args.format == "json":
+            print(json.dumps(response, indent=2, sort_keys=True))
+        else:
+            _render_queue_top(args.service_dir, response)
     return 0
 
 
@@ -973,6 +1097,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the decoded-trace plane cache")
     sweep.add_argument("--format", choices=("text", "json"), default="text",
                        help="output format (json rows use a stable sort order)")
+    sweep.add_argument("--profile", action="store_true",
+                       help="print a per-phase wall-clock breakdown (decode, "
+                            "plane ensure, shm publish, store lookup, "
+                            "simulate, persist, merge) to stderr")
     sweep.set_defaults(func=_cmd_sweep)
 
     verify = subparsers.add_parser("verify", help="cross-check DEW against the reference simulator")
@@ -1195,6 +1323,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_service_client_arguments(cancel, with_job=True)
     cancel.set_defaults(func=_cmd_cancel)
 
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="scrape the fleet's metrics registries: live daemons over "
+             "their sockets, dead ones from their last heartbeat")
+    metrics.add_argument("service_dir", help="service directory")
+    metrics.add_argument("--format", choices=("text", "json"), default="text",
+                         help="text renders the fleet-wide merge as "
+                              "Prometheus-style exposition; json includes "
+                              "every daemon's snapshot")
+    metrics.set_defaults(func=_cmd_metrics)
+
     queue = subparsers.add_parser("queue", help="inspect a service's job queue")
     queue_sub = queue.add_subparsers(dest="queue_command", required=True)
 
@@ -1217,6 +1356,19 @@ def build_parser() -> argparse.ArgumentParser:
                              help="retain window for --prune-events "
                                   "(default: one day)")
     queue_stats.set_defaults(func=_cmd_queue_stats)
+
+    queue_top = queue_sub.add_parser(
+        "top",
+        help="fleet-wide live view: per-daemon jobs/sec, claim latency "
+             "p50/p95, cache hit rates and degradation notes")
+    add_service_client_arguments(queue_top, with_job=False)
+    queue_top.add_argument("--interval", type=float, default=2.0,
+                           metavar="SECONDS",
+                           help="seconds between refreshes (with --iterations)")
+    queue_top.add_argument("--iterations", type=int, default=1, metavar="N",
+                           help="number of refreshes to print (default: one "
+                                "shot)")
+    queue_top.set_defaults(func=_cmd_queue_top)
 
     queue_gc = queue_sub.add_parser(
         "gc",

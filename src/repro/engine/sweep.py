@@ -60,6 +60,7 @@ from repro.engine.shmplane import (
     TraceChunkSource,
 )
 from repro.errors import EngineError, ReproError, SimulationError, VerificationError
+from repro.obs.tracing import PhaseTimer
 from repro.store import ResultStore, StoreKey, open_store
 from repro.trace.trace import DEFAULT_CHUNK_SIZE, Trace
 from repro.types import ReplacementPolicy
@@ -317,6 +318,12 @@ class SweepOutcome:
     elapsed_seconds: float = 0.0
     cached_jobs: int = 0
     executed_jobs: int = 0
+    #: Exclusive per-phase wall clock from the orchestrator's
+    #: :class:`~repro.obs.tracing.PhaseTimer` — decode / plane_ensure /
+    #: shm_publish / store_lookup / simulate / persist, plus merge once
+    #: :meth:`merged` has run.  Purely observational; empty for outcomes
+    #: built outside :func:`run_sweep`.
+    phases: Dict[str, float] = field(default_factory=dict)
     _merged: Optional[SimulationResults] = field(default=None, repr=False)
 
     def merged(self) -> SimulationResults:
@@ -329,12 +336,16 @@ class SweepOutcome:
         object-level :func:`merge_results`.
         """
         if self._merged is None:
+            merge_start = time.perf_counter()
             merged_frame = ResultsFrame.merge(
                 [results.frame() for results in self.results],
                 simulator_name="sweep",
                 trace_name=self.trace_name,
             )
             self._merged = SimulationResults.from_frame(merged_frame)
+            self.phases["merge"] = self.phases.get("merge", 0.0) + (
+                time.perf_counter() - merge_start
+            )
         return self._merged
 
     def frame(self) -> ResultsFrame:
@@ -678,6 +689,10 @@ def run_sweep(
     if not job_list:
         raise EngineError("run_sweep needs at least one job")
     start = time.perf_counter()
+    # Exclusive phase accounting for the orchestrating thread; the timer's
+    # live dict is handed to the outcome, so `sweep --profile` and the
+    # daemon's job spans read it without any extra bookkeeping.
+    timer = PhaseTimer()
     result_store = _coerce_store(store)
     keys: Optional[List[StoreKey]] = None
     results: List[Optional[SimulationResults]] = [None] * len(job_list)
@@ -697,51 +712,55 @@ def run_sweep(
                 "(per-job engines walk the raw trace)"
             )
     elif fused or result_store is not None:
-        trace = _coerce_trace(trace)
+        with timer.phase("decode"):
+            trace = _coerce_trace(trace)
 
     if trace_cache is not None and plane_source is None and fused:
         from repro.trace.planecache import coerce_plane_cache
 
-        try:
-            cache = coerce_plane_cache(trace_cache)
-            if cache is not None:
-                # Keyed off the FULL job list so a store-resumed subset maps
-                # to the same artifact the first run wrote.
-                plane_source = cache.ensure(trace, job_list, chunk_size)
-        except (ReproError, OSError, ValueError):
-            # The cache is an optimisation, never a correctness dependency:
-            # any trouble (unwritable dir, bad manifest, racing gc) falls
-            # back to decoding in-process.
-            plane_source = None
+        with timer.phase("plane_ensure"):
+            try:
+                cache = coerce_plane_cache(trace_cache)
+                if cache is not None:
+                    # Keyed off the FULL job list so a store-resumed subset
+                    # maps to the same artifact the first run wrote.
+                    plane_source = cache.ensure(trace, job_list, chunk_size)
+            except (ReproError, OSError, ValueError):
+                # The cache is an optimisation, never a correctness
+                # dependency: any trouble (unwritable dir, bad manifest,
+                # racing gc) falls back to decoding in-process.
+                plane_source = None
 
     if result_store is not None:
-        if isinstance(trace, Trace):
-            fingerprint = trace.fingerprint()
-        else:
-            fingerprint_of = getattr(plane_source, "fingerprint", None)
-            if fingerprint_of is None:
-                raise EngineError(
-                    "store-backed sweeps need a trace or a fingerprint-"
-                    "carrying plane (a CachedPlane)"
-                )
-            fingerprint = fingerprint_of()
-        keys = [job.store_key(fingerprint) for job in job_list]
-        if not force:
-            for index, key in enumerate(keys):
-                cached = result_store.get(key)
-                if cached is not None:
-                    results[index] = cached
-                    if on_result is not None:
-                        on_result(index, job_list[index], cached, True)
-            cached_jobs = sum(1 for r in results if r is not None)
+        with timer.phase("store_lookup"):
+            if isinstance(trace, Trace):
+                fingerprint = trace.fingerprint()
+            else:
+                fingerprint_of = getattr(plane_source, "fingerprint", None)
+                if fingerprint_of is None:
+                    raise EngineError(
+                        "store-backed sweeps need a trace or a fingerprint-"
+                        "carrying plane (a CachedPlane)"
+                    )
+                fingerprint = fingerprint_of()
+            keys = [job.store_key(fingerprint) for job in job_list]
+            if not force:
+                for index, key in enumerate(keys):
+                    cached = result_store.get(key)
+                    if cached is not None:
+                        results[index] = cached
+                        if on_result is not None:
+                            on_result(index, job_list[index], cached, True)
+                cached_jobs = sum(1 for r in results if r is not None)
     missing = [index for index, loaded in enumerate(results) if loaded is None]
 
     def persist(index: int, fresh: SimulationResults) -> None:
-        results[index] = fresh
-        if result_store is not None and keys is not None:
-            result_store.put(keys[index], fresh)
-        if on_result is not None:
-            on_result(index, job_list[index], fresh, False)
+        with timer.phase("persist"):
+            results[index] = fresh
+            if result_store is not None and keys is not None:
+                result_store.put(keys[index], fresh)
+            if on_result is not None:
+                on_result(index, job_list[index], fresh, False)
 
     plane: Optional[SharedTracePlane] = None
 
@@ -750,112 +769,114 @@ def run_sweep(
         # copy path when the platform cannot supply shared memory;
         # shm=True insists.  With a cached plane attached, the publish
         # copies the mmap-resident arrays instead of re-decoding.
-        try:
-            return SharedTracePlane.publish(
-                trace, pending_jobs, chunk_size, source=plane_source
-            )
-        except OSError as exc:
-            if shm:
-                raise EngineError(
-                    f"shared-memory trace plane unavailable: {exc}"
-                ) from exc
-            return None
+        with timer.phase("shm_publish"):
+            try:
+                return SharedTracePlane.publish(
+                    trace, pending_jobs, chunk_size, source=plane_source
+                )
+            except OSError as exc:
+                if shm:
+                    raise EngineError(
+                        f"shared-memory trace plane unavailable: {exc}"
+                    ) from exc
+                return None
 
     try:
-        if not missing:
-            effective_workers = 1
-        elif workers <= 1 or len(missing) == 1:
-            effective_workers = 1
-            if fused:
-                if shm:
-                    # Serial execution gains nothing from shared memory, but
-                    # an explicit shm=True routes it through a published
-                    # plane anyway — the identity oracle for the shared
-                    # decode, and the same arrays workers would map.
-                    plane = publish_plane([job_list[index] for index in missing])
-                # With a store, run one fused pass per decode group and persist
-                # as each group finishes: cross-block-size fusion shares almost
-                # nothing (the shift and collapse are per-offset anyway), so
-                # this keeps a killed sweep's resume granularity close to
-                # per-job instead of all-or-nothing.  Storeless runs use one
-                # pass over everything.
-                if result_store is not None:
-                    group_batches: Dict[Tuple[int, str], List[int]] = {}
-                    for index in missing:
-                        group_batches.setdefault(_job_decode_key(job_list[index]), []).append(index)
-                    batches = list(group_batches.values())
-                else:
-                    batches = [missing]
-                if plane is not None:
-                    serial_source: object = plane
-                elif plane_source is not None:
-                    serial_source = plane_source
-                else:
-                    serial_source = trace
-                for batch in batches:
-                    executor = FusedSweepExecutor(
-                        serial_source,
-                        [job_list[index] for index in batch],
-                        chunk_size,
-                    )
-                    for offset, fresh in enumerate(executor.execute()):
-                        persist(batch[offset], fresh)
-            else:
-                for index in missing:
-                    persist(index, _execute_job(job_list[index], trace, chunk_size))
-        else:
-            context = multiprocessing.get_context(mp_context)
-            effective_workers = min(workers, len(missing))
-            pending = [job_list[index] for index in missing]
-            file_descriptor = None
-            if fused and plane_source is not None and shm is not True:
-                # A mmap-backed cached plane is already cross-process
-                # shareable through the page cache: ship its few-hundred-byte
-                # descriptor and let each worker attach the artifact file
-                # directly, instead of copying the arrays into a fresh
-                # shared-memory segment.
-                from repro.trace.planecache import CachedPlane
-
-                if isinstance(plane_source, CachedPlane):
-                    file_descriptor = plane_source.descriptor()
-            if fused and shm is not False and file_descriptor is None:
-                plane = publish_plane(pending)
-            if plane is not None:
-                # Workers receive the compact layout descriptor instead of
-                # the trace: nothing trace-sized is pickled or copied, and
-                # each worker attaches lazily on its first batch.
-                initargs = (None, pending, chunk_size, plane.descriptor())
-            elif file_descriptor is not None:
-                initargs = (None, pending, chunk_size, None, file_descriptor)
-            else:
-                if trace is None:
-                    raise EngineError(
-                        "pooled sweeps over a bare trace plane need an "
-                        "attachable descriptor (a CachedPlane) or the trace itself"
-                    )
-                initargs = (trace, pending, chunk_size)
-            with context.Pool(
-                effective_workers,
-                initializer=_sweep_worker_init,
-                initargs=initargs,
-            ) as pool:
+        with timer.phase("simulate"):
+            if not missing:
+                effective_workers = 1
+            elif workers <= 1 or len(missing) == 1:
+                effective_workers = 1
                 if fused:
-                    # One fused batch per worker, batched to maximise shared
-                    # decode; each batch's artifacts are persisted the moment
-                    # the batch finishes.
-                    batches = _partition_fused_batches(pending, effective_workers)
-                    for positions, batch in pool.imap_unordered(_fused_worker_run, batches):
-                        for position, fresh in zip(positions, batch):
-                            persist(missing[position], fresh)
+                    if shm:
+                        # Serial execution gains nothing from shared memory, but
+                        # an explicit shm=True routes it through a published
+                        # plane anyway — the identity oracle for the shared
+                        # decode, and the same arrays workers would map.
+                        plane = publish_plane([job_list[index] for index in missing])
+                    # With a store, run one fused pass per decode group and persist
+                    # as each group finishes: cross-block-size fusion shares almost
+                    # nothing (the shift and collapse are per-offset anyway), so
+                    # this keeps a killed sweep's resume granularity close to
+                    # per-job instead of all-or-nothing.  Storeless runs use one
+                    # pass over everything.
+                    if result_store is not None:
+                        group_batches: Dict[Tuple[int, str], List[int]] = {}
+                        for index in missing:
+                            group_batches.setdefault(_job_decode_key(job_list[index]), []).append(index)
+                        batches = list(group_batches.values())
+                    else:
+                        batches = [missing]
+                    if plane is not None:
+                        serial_source: object = plane
+                    elif plane_source is not None:
+                        serial_source = plane_source
+                    else:
+                        serial_source = trace
+                    for batch in batches:
+                        executor = FusedSweepExecutor(
+                            serial_source,
+                            [job_list[index] for index in batch],
+                            chunk_size,
+                        )
+                        for offset, fresh in enumerate(executor.execute()):
+                            persist(batch[offset], fresh)
                 else:
-                    # imap yields in submission order as results complete, so
-                    # each fresh result is persisted without waiting for the
-                    # whole pool — a kill mid-sweep keeps everything already
-                    # finished.
-                    for offset, fresh in enumerate(
-                        pool.imap(_sweep_worker_run, range(len(pending)))
-                    ):
-                        persist(missing[offset], fresh)
+                    for index in missing:
+                        persist(index, _execute_job(job_list[index], trace, chunk_size))
+            else:
+                context = multiprocessing.get_context(mp_context)
+                effective_workers = min(workers, len(missing))
+                pending = [job_list[index] for index in missing]
+                file_descriptor = None
+                if fused and plane_source is not None and shm is not True:
+                    # A mmap-backed cached plane is already cross-process
+                    # shareable through the page cache: ship its few-hundred-byte
+                    # descriptor and let each worker attach the artifact file
+                    # directly, instead of copying the arrays into a fresh
+                    # shared-memory segment.
+                    from repro.trace.planecache import CachedPlane
+
+                    if isinstance(plane_source, CachedPlane):
+                        file_descriptor = plane_source.descriptor()
+                if fused and shm is not False and file_descriptor is None:
+                    plane = publish_plane(pending)
+                if plane is not None:
+                    # Workers receive the compact layout descriptor instead of
+                    # the trace: nothing trace-sized is pickled or copied, and
+                    # each worker attaches lazily on its first batch.
+                    initargs = (None, pending, chunk_size, plane.descriptor())
+                elif file_descriptor is not None:
+                    initargs = (None, pending, chunk_size, None, file_descriptor)
+                else:
+                    if trace is None:
+                        raise EngineError(
+                            "pooled sweeps over a bare trace plane need an "
+                            "attachable descriptor (a CachedPlane) or the trace itself"
+                        )
+                    initargs = (trace, pending, chunk_size)
+                with context.Pool(
+                    effective_workers,
+                    initializer=_sweep_worker_init,
+                    initargs=initargs,
+                ) as pool:
+                    if fused:
+                        # One fused batch per worker, batched to maximise shared
+                        # decode; each batch's artifacts are persisted the moment
+                        # the batch finishes.
+                        batches = _partition_fused_batches(pending, effective_workers)
+                        for positions, batch in pool.imap_unordered(_fused_worker_run, batches):
+                            for position, fresh in zip(positions, batch):
+                                persist(missing[position], fresh)
+                    else:
+                        # imap yields in submission order as results complete, so
+                        # each fresh result is persisted without waiting for the
+                        # whole pool — a kill mid-sweep keeps everything already
+                        # finished.
+                        for offset, fresh in enumerate(
+                            pool.imap(_sweep_worker_run, range(len(pending)))
+                        ):
+                            persist(missing[offset], fresh)
     finally:
         # The creating process owns the segment: unlink it no matter how
         # execution ended (normal return, worker crash propagating out of
@@ -878,4 +899,6 @@ def run_sweep(
         elapsed_seconds=elapsed,
         cached_jobs=cached_jobs,
         executed_jobs=len(missing),
+        # The live timer dict: `merged()` keeps adding its merge time here.
+        phases=timer.times,
     )

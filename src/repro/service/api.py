@@ -49,6 +49,8 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.core.results import ResultsFrame
 from repro.engine.sweep import SweepJob, build_grid_jobs, build_mechanism_grid_jobs
 from repro.errors import ReproError, ServiceError
+from repro.obs.metrics import merge_snapshots
+from repro.obs.tracing import new_trace_id
 from repro.service.queue import (
     DEFAULT_EVENT_RETAIN_SECONDS,
     DEFAULT_LEASE_SECONDS,
@@ -255,6 +257,16 @@ def service_stats(
         entry = dict(payload)
         entry["alive"] = JobQueue._heartbeat_alive(payload, lease_seconds, now)
         daemons[daemon_id] = entry
+    # Fleet-wide metrics: every daemon's heartbeat carries its process
+    # registry snapshot; summing them (bucket-wise for histograms) gives
+    # one view of the whole fleet's counters without touching any socket.
+    fleet_metrics = merge_snapshots(
+        [
+            entry["metrics"]
+            for entry in daemons.values()
+            if isinstance(entry.get("metrics"), dict)
+        ]
+    )
     daemon: Optional[Dict[str, Any]] = None
     if daemons:
         daemon = max(daemons.values(), key=_heartbeat_updated_at)
@@ -279,7 +291,52 @@ def service_stats(
         daemon=daemon,
         daemons=daemons,
         live_daemons=sum(1 for entry in daemons.values() if entry.get("alive")),
+        fleet_metrics=fleet_metrics,
     )
+
+
+def fleet_metrics(
+    queue: JobQueue, connect_timeout: float = 0.5
+) -> Dict[str, Any]:
+    """Per-daemon metrics snapshots plus the fleet-wide merge.
+
+    Every daemon with a reachable socket is scraped live (its registry as
+    of *now*); daemons without one — polling-only, or between heartbeat and
+    death — fall back to the snapshot riding their last heartbeat.  The
+    ``fleet`` entry is the bucket-wise sum over whatever was gathered, the
+    payload ``repro-dew metrics`` renders.
+    """
+    from repro.service.socketserver import SOCKET_SUFFIX, SocketTransport
+
+    per_daemon: Dict[str, Dict[str, Any]] = {}
+    for daemon_id, payload in sorted(queue.daemon_heartbeats().items()):
+        snapshot = payload.get("metrics")
+        if isinstance(snapshot, dict):
+            per_daemon[daemon_id] = {"source": "heartbeat", "metrics": snapshot}
+    directory = queue.sockets_dir()
+    if directory.is_dir():
+        for path in sorted(directory.glob("*" + SOCKET_SUFFIX)):
+            daemon_id = path.name[: -len(SOCKET_SUFFIX)]
+            try:
+                transport = SocketTransport(path, connect_timeout=connect_timeout)
+            except OSError:
+                continue  # stale socket file; the heartbeat entry stands
+            try:
+                response = transport.request(
+                    {"wire": SERVICE_WIRE_VERSION, "op": "metrics"},
+                    timeout=connect_timeout + 2.0,
+                )
+                if response.get("ok") and isinstance(response.get("metrics"), dict):
+                    per_daemon[daemon_id] = {
+                        "source": "socket",
+                        "metrics": response["metrics"],
+                    }
+            except (OSError, ValueError):
+                pass
+            finally:
+                transport.close()
+    merged = merge_snapshots([entry["metrics"] for entry in per_daemon.values()])
+    return ok_response("metrics", daemons=per_daemon, fleet=merged)
 
 
 class ServiceClient:
@@ -445,6 +502,13 @@ class ServiceClient:
         wire["trace_fingerprint"] = fingerprint
         wire["cells"] = len(digests)
         wire["cell_digests"] = digests
+        # The trace id is minted here — the submitting edge — and rides the
+        # durable job record, so every span any daemon emits for this job
+        # (including a re-execution after a crash) carries the same id.  A
+        # deduped submission keeps the *original* submission's id: the
+        # coalesced request observes the first request's trace.
+        trace_id = new_trace_id()
+        wire["trace_id"] = trace_id
         response = self._socket_request(
             {"op": "submit", "job_id": job_id, "request": wire, "priority": priority}
         )
@@ -457,6 +521,7 @@ class ServiceClient:
             state=record.state,
             deduped=deduped,
             priority=record.priority,
+            trace_id=str(record.request.get("trace_id", trace_id)),
         )
 
     def status(self, job_id: str) -> Dict[str, Any]:

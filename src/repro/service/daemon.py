@@ -56,6 +56,8 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.engine.sweep import SweepJob, run_sweep
 from repro.errors import ReproError, ServiceError, StoreError, SweepAborted
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import TELEMETRY_DIR, SpanLog
 from repro.service.api import SweepRequest
 from repro.service.queue import (
     DEFAULT_EVENT_RETAIN_SECONDS,
@@ -216,6 +218,43 @@ class ServiceDaemon:
         self.cells_cached = 0
         self.heartbeat_errors = 0
         self._last_heartbeat_error: Optional[str] = None
+        # Sticky degradation notes, keyed by condition ("socket", ...).
+        # Unlike the transient `note` argument to _write_heartbeat, these
+        # survive every renewal until the condition clears — the original
+        # bug was a socket-bind failure silently erased by the next
+        # heartbeat, leaving the fleet view claiming a healthy socket.
+        self._notes: Dict[str, str] = {}
+        registry = get_registry()
+        self._metric_jobs_done = registry.counter(
+            "daemon_jobs_done_total", help="Jobs this process finished as done."
+        )
+        self._metric_jobs_failed = registry.counter(
+            "daemon_jobs_failed_total", help="Jobs this process finished as failed."
+        )
+        self._metric_jobs_cancelled = registry.counter(
+            "daemon_jobs_cancelled_total",
+            help="Jobs this process finished as cancelled.",
+        )
+        self._metric_cells_executed = registry.counter(
+            "daemon_cells_executed_total", help="Sweep cells simulated fresh."
+        )
+        self._metric_cells_cached = registry.counter(
+            "daemon_cells_cached_total", help="Sweep cells loaded from the store."
+        )
+        self._metric_heartbeat_errors = registry.counter(
+            "daemon_heartbeat_errors_total", help="Failed heartbeat writes."
+        )
+        self._metric_job_seconds = registry.histogram(
+            "daemon_job_seconds", help="Wall-clock seconds per finished job."
+        )
+        # One span log per daemon under <root>/telemetry/ — every claim,
+        # cell and terminal transition lands here with the submission's
+        # trace id, so one id can be followed across the whole fleet.
+        self.span_log = SpanLog(
+            Path(self.queue.root) / TELEMETRY_DIR,
+            name=f"spans-{self.daemon_id}",
+            source=self.daemon_id,
+        )
         self._stopping = False
         self._started_at = time.time()
         self._lock = Lock()
@@ -271,8 +310,6 @@ class ServiceDaemon:
         if evicted_jobs:
             notes.append(f"evicted {evicted_jobs} finished job(s)")
         self._start_socket()
-        if self.socket_error:
-            notes.append(f"socket disabled: {self.socket_error}")
         self._write_heartbeat(note="; ".join(notes) if notes else None)
         finished_before = self._finished_total()
         try:
@@ -297,10 +334,15 @@ class ServiceDaemon:
         except ServiceError as exc:
             # The socket is an accelerator: a daemon that cannot bind one
             # (path length limits, odd filesystems) still serves polling.
+            # The degradation note is *sticky*: it rides every subsequent
+            # heartbeat renewal (not just the next one) until the socket
+            # comes up, so `queue stats` keeps showing the downgrade.
             self.socket_error = str(exc)
+            self._notes["socket"] = f"socket disabled: {exc}"
             return
         self.socket_server = server
         self.socket_error = None
+        self._notes.pop("socket", None)
 
     def _stop_socket(self) -> None:
         server, self.socket_server = self.socket_server, None
@@ -467,6 +509,16 @@ class ServiceDaemon:
     def _execute(self, record: JobRecord) -> None:
         started = time.perf_counter()
         sweep_input = None
+        # The submission's trace id rides the durable job record, so it
+        # survives daemon crashes and reclaims — whichever daemon executes
+        # (or re-executes) the job continues the same trace.
+        trace_id = record.request.get("trace_id") or None
+        self.span_log.emit(
+            "job_claimed",
+            trace_id=trace_id,
+            job_id=record.id,
+            attempt=record.attempts,
+        )
         try:
             request = SweepRequest.from_wire(record.request)
             jobs = request.build_jobs()
@@ -482,6 +534,13 @@ class ServiceDaemon:
                 if cached:
                     record.cells_cached += 1
                 self.queue.update_running(record)
+                self.span_log.emit(
+                    "cell",
+                    trace_id=trace_id,
+                    job_id=record.id,
+                    index=index,
+                    cached=cached,
+                )
                 if self.on_cell is not None:
                     self.on_cell(record, index, job, cached)
                 # A long sweep must keep renewing the claim lease even
@@ -510,11 +569,13 @@ class ServiceDaemon:
             )
             payload = outcome.merged().to_json()
             record.execute_seconds = time.perf_counter() - started
+            phases = {name: round(value, 6) for name, value in outcome.phases.items()}
             record.extra.update(
                 {
                     "cached_jobs": outcome.cached_jobs,
                     "executed_jobs": outcome.executed_jobs,
                     "trace": outcome.trace_name,
+                    "phases": phases,
                 }
             )
             self.queue.complete(record, payload)
@@ -522,22 +583,54 @@ class ServiceDaemon:
                 self.jobs_done += 1
                 self.cells_executed += outcome.executed_jobs
                 self.cells_cached += outcome.cached_jobs
+            self._metric_jobs_done.inc()
+            self._metric_cells_executed.inc(outcome.executed_jobs)
+            self._metric_cells_cached.inc(outcome.cached_jobs)
+            self._metric_job_seconds.observe(record.execute_seconds)
+            self.span_log.emit(
+                "job_done",
+                trace_id=trace_id,
+                job_id=record.id,
+                seconds=round(record.execute_seconds, 6),
+                cells_done=record.cells_done,
+                cells_cached=record.cells_cached,
+                phases=phases,
+            )
         except SweepAborted as exc:
             record.execute_seconds = time.perf_counter() - started
             record.error = str(exc)
             self.queue.cancel_running(record)
             with self._lock:
                 self.jobs_cancelled += 1
+            self._metric_jobs_cancelled.inc()
+            self.span_log.emit(
+                "job_cancelled",
+                trace_id=trace_id,
+                job_id=record.id,
+                seconds=round(record.execute_seconds, 6),
+                cells_done=record.cells_done,
+            )
         except ReproError as exc:
             record.execute_seconds = time.perf_counter() - started
             self.queue.fail(record, str(exc))
             with self._lock:
                 self.jobs_failed += 1
+            self._metric_jobs_failed.inc()
+            self.span_log.emit(
+                "job_failed", trace_id=trace_id, job_id=record.id, error=str(exc)
+            )
         except Exception as exc:  # noqa: BLE001 - a job must never kill the daemon
             record.execute_seconds = time.perf_counter() - started
             self.queue.fail(record, f"{type(exc).__name__}: {exc}")
             with self._lock:
                 self.jobs_failed += 1
+            self._metric_jobs_failed.inc()
+            self.span_log.emit(
+                "job_failed",
+                trace_id=trace_id,
+                job_id=record.id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
         finally:
             if isinstance(sweep_input, CachedPlane):
                 sweep_input.close()
@@ -606,10 +699,15 @@ class ServiceDaemon:
             "heartbeat_errors": self.heartbeat_errors,
             "socket": str(server.path) if server is not None and server.running else None,
             "inflight_jobs": [job_id[:12] for job_id in inflight],
+            "notes": [self._notes[key] for key in sorted(self._notes)],
             "store": self.store.stats(),
             "trace_cache": (
                 self.trace_cache.stats() if self.trace_cache is not None else None
             ),
+            # The whole process registry rides every heartbeat, so fleet
+            # surfaces (`queue stats`, `queue top`, `repro-dew metrics`)
+            # aggregate without talking to each daemon's socket.
+            "metrics": get_registry().snapshot(),
         }
 
     def _write_heartbeat(self, note: Optional[str] = None) -> None:
@@ -622,8 +720,14 @@ class ServiceDaemon:
         that does land.
         """
         payload = self.heartbeat()
-        if note:
-            payload["note"] = note
+        # The legacy scalar `note` stays populated for old readers: a
+        # transient note (startup summary, "stopped") is joined with the
+        # sticky degradation notes; a renewal without one backfills from
+        # the sticky set instead of erasing it.
+        sticky = payload.get("notes") or []
+        parts = ([note] if note else []) + [text for text in sticky if text != note]
+        if parts:
+            payload["note"] = "; ".join(parts)
         if self._last_heartbeat_error:
             payload["last_heartbeat_error"] = self._last_heartbeat_error
         try:
@@ -639,6 +743,7 @@ class ServiceDaemon:
             with self._heartbeat_state_lock:
                 self.heartbeat_errors += 1
                 self._last_heartbeat_error = str(exc)
+            self._metric_heartbeat_errors.inc()
         else:
             with self._heartbeat_state_lock:
                 self._last_heartbeat_at = time.monotonic()

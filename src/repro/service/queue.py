@@ -60,6 +60,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ServiceError
+from repro.obs.metrics import get_registry
 from repro.store.resultstore import _atomic_replace
 
 #: Version of the service directory layout and job record schema.
@@ -217,6 +218,32 @@ class JobQueue:
 
     def __init__(self, root: Union[str, os.PathLike]) -> None:
         self.root = Path(root)
+        registry = get_registry()
+        self._metric_submitted = registry.counter(
+            "queue_submitted_total", help="Jobs enqueued (fresh or retried)."
+        )
+        self._metric_deduped = registry.counter(
+            "queue_deduped_total", help="Submissions coalesced onto a live job."
+        )
+        self._metric_claimed = registry.counter(
+            "queue_claimed_total", help="Successful job claims."
+        )
+        self._metric_completed = registry.counter(
+            "queue_completed_total", help="Jobs finished as done."
+        )
+        self._metric_failed = registry.counter(
+            "queue_failed_total", help="Jobs finished as failed."
+        )
+        self._metric_cancelled = registry.counter(
+            "queue_cancelled_total", help="Jobs finished as cancelled."
+        )
+        self._metric_recovered = registry.counter(
+            "queue_recovered_total", help="Stranded running jobs re-queued."
+        )
+        self._metric_claim_latency = registry.histogram(
+            "queue_claim_latency_seconds",
+            help="Seconds between job submission and a winning claim.",
+        )
 
     # -- paths -------------------------------------------------------------------
 
@@ -275,6 +302,7 @@ class JobQueue:
         if existing is not None:
             state, record = existing
             if state in (STATE_QUEUED, STATE_RUNNING, STATE_DONE):
+                self._metric_deduped.inc()
                 return record, True
             # failed/cancelled -> retry: move back onto the queue.
             record.error = None
@@ -288,6 +316,7 @@ class JobQueue:
             # A resubmission is an explicit retry: a cancel marker left by
             # an earlier life of this job must not insta-cancel the new run.
             self.clear_cancel_request(job_id)
+            self._metric_submitted.inc()
             return record, False
         record = JobRecord(
             id=job_id,
@@ -297,6 +326,7 @@ class JobQueue:
             submitted_at=time.time(),
         )
         self._write_record(STATE_QUEUED, record)
+        self._metric_submitted.inc()
         return record, False
 
     def _record_event(self) -> None:
@@ -502,6 +532,11 @@ class JobQueue:
             record.daemon_id = daemon_id
             record.lease_expires_at = record.started_at + max(float(lease_seconds), 0.0)
             self._write_record(STATE_RUNNING, record)
+            self._metric_claimed.inc()
+            if record.submitted_at:
+                self._metric_claim_latency.observe(
+                    max(record.started_at - record.submitted_at, 0.0)
+                )
             return record
         return None
 
@@ -530,6 +565,7 @@ class JobQueue:
         self._write_record(STATE_DONE, record)
         self._transition(STATE_RUNNING, STATE_DONE, record.id, rewritten=True)
         self.clear_cancel_request(record.id)
+        self._metric_completed.inc()
 
     def fail(self, record: JobRecord, error: str) -> None:
         """Flip a running job to ``failed`` with the error message."""
@@ -538,6 +574,7 @@ class JobQueue:
         self._write_record(STATE_FAILED, record)
         self._transition(STATE_RUNNING, STATE_FAILED, record.id, rewritten=True)
         self.clear_cancel_request(record.id)
+        self._metric_failed.inc()
 
     def cancel(self, job_id_or_prefix: str) -> JobRecord:
         """Cancel a job: atomic rename for waiting states, a request for running.
@@ -559,6 +596,7 @@ class JobQueue:
             record.finished_at = time.time()
             self._write_record(STATE_CANCELLED, record)
             self._transition(source_state, STATE_CANCELLED, record.id, rewritten=True)
+            self._metric_cancelled.inc()
             return record
         if record.state == STATE_RUNNING:
             self.request_cancel(record.id)
@@ -601,6 +639,7 @@ class JobQueue:
         self._write_record(STATE_CANCELLED, record)
         self._transition(STATE_RUNNING, STATE_CANCELLED, record.id, rewritten=True)
         self.clear_cancel_request(record.id)
+        self._metric_cancelled.inc()
 
     # -- fleet liveness ----------------------------------------------------------
 
@@ -782,6 +821,8 @@ class JobQueue:
             self._write_record(STATE_QUEUED, record)
             self._transition(STATE_RUNNING, STATE_QUEUED, record.id, rewritten=True)
             recovered.append(record)
+        if recovered:
+            self._metric_recovered.inc(len(recovered))
         return recovered
 
     # -- retention ---------------------------------------------------------------

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.errors import ServiceError
+from repro.obs.metrics import get_registry, render_exposition
 from repro.service.queue import (
     STATE_FAILED,
     TERMINAL_STATES,
@@ -93,6 +94,9 @@ class ServiceSocketServer:
         self.stats_source = stats_source
         self.path: Path = queue.sockets_dir() / (self.daemon_id + SOCKET_SUFFIX)
         self.requests_served = 0
+        self._metric_requests = get_registry().counter(
+            "socket_requests_total", help="Requests answered over daemon sockets."
+        )
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._stopping = False
@@ -191,6 +195,7 @@ class ServiceSocketServer:
                 except OSError:
                     break
                 self.requests_served += 1
+                self._metric_requests.inc()
         finally:
             try:
                 connection.close()
@@ -228,6 +233,7 @@ class ServiceSocketServer:
                 state=record.state,
                 deduped=deduped,
                 priority=record.priority,
+                trace_id=str(record.request.get("trace_id", "")) or None,
             )
         if op == "status":
             record = self.queue.find(str(request["job"]))
@@ -244,9 +250,34 @@ class ServiceSocketServer:
             )
         if op == "stats":
             return self._stats_response(service_stats)
+        if op == "metrics":
+            return self._metrics_response(request, ok_response)
         if op == "wait":
             return self._handle_wait(request, ok_response, record_to_wire)
         raise ServiceError(f"unknown socket operation {op!r}")
+
+    def _metrics_response(self, request: Dict[str, Any], ok_response) -> Dict[str, Any]:
+        """This daemon process's live metrics registry.
+
+        ``format: "json"`` (the default) answers with the canonical
+        snapshot; ``format: "text"`` renders the Prometheus-style
+        exposition, so the socket can be scraped with nothing but
+        ``nc -U`` and one JSON line.
+        """
+        fmt = str(request.get("format", "json"))
+        snapshot = get_registry().snapshot()
+        if fmt == "text":
+            return ok_response(
+                "metrics",
+                daemon_id=self.daemon_id,
+                format="text",
+                exposition=render_exposition(snapshot),
+            )
+        if fmt != "json":
+            raise ServiceError(f"unknown metrics format {fmt!r} (json or text)")
+        return ok_response(
+            "metrics", daemon_id=self.daemon_id, format="json", metrics=snapshot
+        )
 
     def _stats_response(self, service_stats) -> Dict[str, Any]:
         """Fleet stats with this daemon's entry refreshed from live counters.

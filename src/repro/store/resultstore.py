@@ -46,6 +46,7 @@ from repro.core.config import CacheConfig
 from repro.core.counters import DewCounters
 from repro.core.results import ResultsFrame, SimulationResults
 from repro.errors import StoreError
+from repro.obs.metrics import component_snapshot, get_registry
 
 #: Version of the store directory layout and artifact envelope.
 STORE_SCHEMA_VERSION = 1
@@ -193,6 +194,22 @@ class ResultStore:
         self.miss_count = 0
         self.corrupt_count = 0
         self.put_count = 0
+        # Process-wide named instruments (shared across store instances):
+        # the per-instance ints above stay the per-sweep view, the registry
+        # aggregates everything the process did and rides heartbeats.
+        registry = get_registry()
+        self._metric_hits = registry.counter(
+            "store_hits_total", "result-store artifact lookups served from disk"
+        )
+        self._metric_misses = registry.counter(
+            "store_misses_total", "result-store lookups with no artifact"
+        )
+        self._metric_corrupt = registry.counter(
+            "store_corrupt_total", "unreadable or mis-addressed artifacts (read as misses)"
+        )
+        self._metric_puts = registry.counter(
+            "store_puts_total", "artifacts persisted"
+        )
         # In-flight marks are read by a scheduler thread while worker
         # threads add/discard them (daemon with workers > 1), so every
         # access goes through the lock.
@@ -216,6 +233,12 @@ class ResultStore:
             "puts": self.put_count,
             "in_flight": len(self.in_flight_digests()),
         }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The unified per-component stats shape (see
+        :func:`repro.obs.metrics.component_snapshot`); ``counters`` carries
+        exactly the legacy :meth:`stats` keys."""
+        return component_snapshot("result_store", self.stats())
 
     def _in_flight_path(self, digest: str) -> Path:
         return self.root / _INFLIGHT_DIR / (digest + _INFLIGHT_SUFFIX)
@@ -358,15 +381,19 @@ class ResultStore:
                 frame, extra = ResultsFrame.read_npz(handle)
         except FileNotFoundError:
             self.miss_count += 1
+            self._metric_misses.inc()
             return None
         except Exception:
             # Truncated npz, malformed metadata, wrong schema version, ...
             self.corrupt_count += 1
+            self._metric_corrupt.inc()
             return None
         if extra.get("key", {}).get("digest") != key.digest:
             self.corrupt_count += 1
+            self._metric_corrupt.inc()
             return None
         self.hit_count += 1
+        self._metric_hits.inc()
         counters = None
         raw_counters = extra.get("counters")
         if isinstance(raw_counters, dict):
@@ -398,6 +425,7 @@ class ResultStore:
             prefix=".tmp-" + key.digest[:8] + "-",
         )
         self.put_count += 1
+        self._metric_puts.inc()
         # A persisted artifact is by definition no longer being computed.
         self.clear_in_flight(key)
         return path

@@ -71,6 +71,7 @@ from repro.engine.shmplane import (
     plane_arrays_from_source,
 )
 from repro.errors import StoreError
+from repro.obs.metrics import component_snapshot, get_registry
 from repro.store.manage import (
     STATUS_CORRUPT,
     STATUS_FOREIGN,
@@ -427,6 +428,27 @@ class TracePlaneCache:
         self.put_count = 0
         self.sidecar_hit_count = 0
         self.sidecar_miss_count = 0
+        # Process-wide named instruments alongside the per-instance ints:
+        # the registry totals ride daemon heartbeats for fleet aggregation.
+        registry = get_registry()
+        self._metric_hits = registry.counter(
+            "plane_cache_hits_total", "decoded planes attached from the cache"
+        )
+        self._metric_misses = registry.counter(
+            "plane_cache_misses_total", "plane lookups with no artifact"
+        )
+        self._metric_corrupt = registry.counter(
+            "plane_cache_corrupt_total", "unreadable plane artifacts (read as misses)"
+        )
+        self._metric_puts = registry.counter(
+            "plane_cache_puts_total", "decoded planes persisted"
+        )
+        self._metric_sidecar_hits = registry.counter(
+            "plane_cache_sidecar_hits_total", "fingerprints served from sidecars"
+        )
+        self._metric_sidecar_misses = registry.counter(
+            "plane_cache_sidecar_misses_total", "fingerprint sidecar misses"
+        )
 
     # -- accounting -----------------------------------------------------------
 
@@ -440,6 +462,12 @@ class TracePlaneCache:
             "sidecar_hits": self.sidecar_hit_count,
             "sidecar_misses": self.sidecar_miss_count,
         }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The unified per-component stats shape (see
+        :func:`repro.obs.metrics.component_snapshot`); ``counters`` carries
+        exactly the legacy :meth:`stats` keys."""
+        return component_snapshot("trace_plane_cache", self.stats())
 
     # -- addressing -----------------------------------------------------------
 
@@ -508,11 +536,14 @@ class TracePlaneCache:
             plane = self._attach(key, trace_name)
         except FileNotFoundError:
             self.miss_count += 1
+            self._metric_misses.inc()
             return None
         except (StoreError, OSError, ValueError):
             self.corrupt_count += 1
+            self._metric_corrupt.inc()
             return None
         self.hit_count += 1
+        self._metric_hits.inc()
         return plane
 
     def put(
@@ -582,6 +613,7 @@ class TracePlaneCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_replace(path, write, prefix=".tmp-" + key.digest[:8] + "-")
         self.put_count += 1
+        self._metric_puts.inc()
         return path
 
     def ensure(
@@ -627,10 +659,12 @@ class TracePlaneCache:
                 fingerprint = str(payload["fingerprint"])
                 if _DIGEST_RE.match(fingerprint):
                     self.sidecar_hit_count += 1
+                    self._metric_sidecar_hits.inc()
                     return fingerprint
         except (OSError, ValueError, KeyError, TypeError):
             pass
         self.sidecar_miss_count += 1
+        self._metric_sidecar_misses.inc()
         return None
 
     def record_fingerprint(
